@@ -1,0 +1,152 @@
+// Command hippocrates is the automated PM durability-bug fixer (the
+// paper's tool, Fig. 2): it traces a program through the bug finder,
+// computes safe fixes — intraprocedural flush/fence insertion and
+// persistent subprogram transformations placed by the hoisting heuristic —
+// applies them, and re-validates the repaired program.
+//
+// Usage:
+//
+//	hippocrates [flags] program.pmc
+//
+// Flags:
+//
+//	-entry NAME       entry function (default "main")
+//	-o FILE           write the repaired module (textual IR) to FILE
+//	-trace FILE       use an existing trace instead of running the program
+//	-marks MODE       heuristic pointer marks: full-aa | trace-aa
+//	-intra-only       disable hoisting (intraprocedural fixes only)
+//	-show-fixes       print each applied fix
+//	-show-scores      print the heuristic's candidate scores
+//	-diff             print a line diff of the repaired IR
+//	-flush KIND       inserted flush flavour: clwb (default) | clflushopt | clflush
+//
+// Exit status is 1 on failure to repair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/core"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmcheck"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry function")
+	out := flag.String("o", "", "write the repaired module to this file")
+	tracePath := flag.String("trace", "", "use an existing trace instead of running")
+	marks := flag.String("marks", "full-aa", "pointer marks: full-aa | trace-aa")
+	intraOnly := flag.Bool("intra-only", false, "disable hoisting (intraprocedural fixes only)")
+	showFixes := flag.Bool("show-fixes", false, "print each applied fix")
+	showScores := flag.Bool("show-scores", false, "print heuristic candidate scores")
+	showDiff := flag.Bool("diff", false, "print a line diff of the repaired IR")
+	flushKind := flag.String("flush", "clwb", "inserted flush flavour: clwb | clflushopt | clflush")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hippocrates [flags] program.pmc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *intraOnly, *showFixes, *showScores, *showDiff); err != nil {
+		fmt.Fprintln(os.Stderr, "hippocrates:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFixes, showScores, showDiff bool) error {
+	mod, err := cli.LoadModule(path)
+	if err != nil {
+		return err
+	}
+	var before string
+	if showDiff {
+		before = ir.Print(mod)
+	}
+	opts := core.Options{DisableHoisting: intraOnly}
+	switch flushKind {
+	case "clwb":
+		opts.FlushKind = ir.CLWB
+	case "clflushopt":
+		opts.FlushKind = ir.CLFLUSHOPT
+	case "clflush":
+		opts.FlushKind = ir.CLFLUSH
+	default:
+		return fmt.Errorf("unknown -flush %q", flushKind)
+	}
+	switch marks {
+	case "full-aa":
+		opts.Marks = core.FullAA
+	case "trace-aa":
+		opts.Marks = core.TraceAA
+	default:
+		return fmt.Errorf("unknown -marks %q", marks)
+	}
+	if showScores {
+		opts.DebugScores = os.Stderr
+	}
+
+	var res *core.PipelineResult
+	if tracePath != "" {
+		tr, err := cli.LoadTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		check := pmcheck.Check(tr)
+		res = &core.PipelineResult{Trace: tr, Before: check}
+		if check.Clean() {
+			res.After = check
+		} else {
+			fixRes, err := core.Repair(mod, tr, check, opts)
+			if err != nil {
+				return err
+			}
+			res.Fix = fixRes
+			tr2, err := core.TraceModule(mod, entry)
+			if err != nil {
+				return err
+			}
+			res.After = pmcheck.Check(tr2)
+		}
+	} else {
+		res, err = core.RunAndRepair(mod, entry, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("hippocrates: %d bug(s) before repair (%d unique store sites)\n",
+		len(res.Before.Reports), res.Before.UniqueSites())
+	if res.Fix != nil {
+		fmt.Printf("hippocrates: applied %d fix(es): %d interprocedural, %d reduced away, %d persistent subprogram(s)\n",
+			len(res.Fix.Fixes), res.Fix.InterprocFixes(), res.Fix.ReducedFixes, res.Fix.ClonesCreated)
+		fmt.Printf("hippocrates: module grew %d -> %d instructions (+%.3f%%) using %s marks\n",
+			res.Fix.InstrsBefore, res.Fix.InstrsAfter,
+			100*float64(res.Fix.InstrsAfter-res.Fix.InstrsBefore)/float64(res.Fix.InstrsBefore),
+			res.Fix.MarksName)
+		if showFixes {
+			for i, fx := range res.Fix.Fixes {
+				fmt.Printf("  [%d] %s\n", i+1, fx)
+			}
+		}
+	}
+	if showDiff && res.Fix != nil {
+		fmt.Println("hippocrates: repair diff:")
+		fmt.Print(cli.DiffLines(before, ir.Print(mod)))
+	}
+	if res.Fixed() {
+		fmt.Println("hippocrates: repaired module is clean under the bug finder")
+	} else {
+		fmt.Print(res.After.Summary())
+		return fmt.Errorf("repair incomplete")
+	}
+	if out != "" {
+		if err := cli.WriteModule(mod, out); err != nil {
+			return err
+		}
+		fmt.Printf("hippocrates: wrote repaired module to %s\n", out)
+	}
+	return nil
+}

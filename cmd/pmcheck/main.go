@@ -1,0 +1,68 @@
+// Command pmcheck is the durability-bug finder: the repository's
+// pmemcheck. It either executes a program and checks the resulting PM
+// trace, or replays a previously saved trace.
+//
+// Usage:
+//
+//	pmcheck [flags] program.pmc
+//	pmcheck -replay trace.pmtrace
+//
+// Flags:
+//
+//	-entry NAME    entry function (default "main")
+//	-trace FILE    also save the generated trace
+//	-replay FILE   analyze an existing trace instead of running
+//
+// Exit status is 1 when durability bugs are found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/core"
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/trace"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry function")
+	saveTrace := flag.String("trace", "", "save the generated trace to this file")
+	replay := flag.String("replay", "", "analyze an existing trace file")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *replay != "":
+		tr, err = cli.LoadTrace(*replay)
+	case flag.NArg() == 1:
+		m, lerr := cli.LoadModule(flag.Arg(0))
+		if lerr != nil {
+			err = lerr
+			break
+		}
+		tr, err = core.TraceModule(m, *entry)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: pmcheck [flags] program.pmc | pmcheck -replay trace.pmtrace")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmcheck:", err)
+		os.Exit(1)
+	}
+	if *saveTrace != "" {
+		if err := cli.WriteTrace(tr, *saveTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(1)
+		}
+	}
+	res := pmcheck.Check(tr)
+	fmt.Print(res.Summary())
+	if !res.Clean() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Command pmvm runs a pmc program (or textual IR module) on the simulated
+// persistent-memory machine and reports its result, simulated time, and
+// any durability violations observed at the run's durability points.
+//
+// Usage:
+//
+//	pmvm [flags] program.pmc [intarg ...]
+//
+// Flags:
+//
+//	-entry NAME    entry function (default "main")
+//	-trace FILE    write the PM-operation trace to FILE
+//	-print-ir      print the lowered IR instead of running
+//	-max-steps N   instruction budget (default 100M)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/trace"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry function")
+	traceOut := flag.String("trace", "", "write the PM trace to this file")
+	printIR := flag.Bool("print-ir", false, "print the lowered IR and exit")
+	maxSteps := flag.Int64("max-steps", 0, "instruction budget (0 = default)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pmvm [flags] program.pmc [intarg ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "pmvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, argStrs []string, entry, traceOut string, printIR bool, maxSteps int64) error {
+	mod, err := cli.LoadModule(path)
+	if err != nil {
+		return err
+	}
+	if printIR {
+		fmt.Print(ir.Print(mod))
+		return nil
+	}
+	args := make([]uint64, len(argStrs))
+	for i, s := range argStrs {
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return fmt.Errorf("argument %q is not an integer", s)
+		}
+		args[i] = uint64(v)
+	}
+	var tr *trace.Trace
+	if traceOut != "" {
+		tr = &trace.Trace{Program: mod.Name}
+	}
+	mach, err := interp.New(mod, interp.Options{Trace: tr, Stdout: os.Stdout, MaxSteps: maxSteps})
+	if err != nil {
+		return err
+	}
+	ret, err := mach.Run(entry, args...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pmvm: @%s returned %d\n", entry, int64(ret))
+	fmt.Printf("pmvm: %d instructions, %.0f simulated ns\n", mach.Steps(), mach.SimTime())
+	if n := len(mach.Violations); n > 0 {
+		fmt.Printf("pmvm: %d durability violation(s) observed (run pmcheck for details)\n", n)
+	} else {
+		fmt.Println("pmvm: all PM stores durable at every durability point")
+	}
+	if tr != nil {
+		if err := cli.WriteTrace(tr, traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("pmvm: wrote %d trace events to %s\n", len(tr.Events), traceOut)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command repro regenerates every table and figure from the paper's
+// evaluation (§6) on the simulated substrate.
+//
+// Usage:
+//
+//	repro -all            everything below
+//	repro -fig1           the 26-bug study table
+//	repro -fig3           fix-accuracy comparison (11 PMDK issues)
+//	repro -effectiveness  §6.1: all 23 bugs found and repaired
+//	repro -fig4           Redis YCSB case study (§6.3)
+//	repro -fig5           Hippocrates offline overhead
+//	repro -size           §6.4 code-size impact
+//
+// Fig. 4 options:
+//
+//	-records N -ops N -trials N    workload size (defaults follow the
+//	                               paper: 10000/10000/20)
+//	-quick                         reduced configuration (600/600/5)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hippocrates/internal/bench"
+	"hippocrates/internal/study"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	fig1 := flag.Bool("fig1", false, "Fig. 1: bug study table")
+	fig3 := flag.Bool("fig3", false, "Fig. 3: fix accuracy")
+	eff := flag.Bool("effectiveness", false, "§6.1 effectiveness")
+	fig4 := flag.Bool("fig4", false, "Fig. 4: Redis YCSB")
+	fig5 := flag.Bool("fig5", false, "Fig. 5: offline overhead")
+	size := flag.Bool("size", false, "§6.4 code-size impact")
+	quick := flag.Bool("quick", false, "reduced Fig. 4 configuration")
+	records := flag.Int64("records", 10000, "Fig. 4 record count")
+	ops := flag.Int("ops", 10000, "Fig. 4 operations per workload")
+	trials := flag.Int("trials", 20, "Fig. 4 trials per workload")
+	flag.Parse()
+
+	if !(*all || *fig1 || *fig3 || *eff || *fig4 || *fig5 || *size) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	section := func(name string) {
+		fmt.Printf("\n==== %s ====\n\n", name)
+	}
+
+	if *all || *fig1 {
+		section("Fig. 1 — study of PMDK durability bugs (§3)")
+		fmt.Print(study.Aggregate().Render())
+		fmt.Println()
+		fmt.Print(study.RenderIssues())
+	}
+	if *all || *eff {
+		section("§6.1 — effectiveness")
+		res, err := bench.RunEffectiveness()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Render())
+	}
+	if *all || *fig3 {
+		section("Fig. 3 — accuracy of fixes vs developer fixes (§6.2)")
+		res, err := bench.RunFig3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Render())
+	}
+	if *all || *fig4 {
+		section("Fig. 4 — Redis-pmem YCSB case study (§6.3)")
+		cfg := bench.Fig4Config{Records: *records, Ops: *ops, Trials: *trials, Seed: 1}
+		if *quick {
+			cfg = bench.QuickFig4Config()
+		}
+		start := time.Now()
+		res, err := bench.RunFig4(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+		fmt.Print(res.Chart())
+		fmt.Printf("(simulated in %v wall clock)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *all || *fig5 {
+		section("Fig. 5 — Hippocrates offline overhead (§6.4)")
+		res, err := bench.RunFig5()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Render())
+	}
+	if *all || *size {
+		section("§6.4 — code-size impact")
+		res, err := bench.RunSizeImpact()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res.Render())
+	}
+}

@@ -1,0 +1,3 @@
+module hippocrates
+
+go 1.24

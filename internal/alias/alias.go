@@ -1,0 +1,330 @@
+// Package alias implements Andersen's inclusion-based, flow- and
+// field-insensitive points-to analysis over the IR, in the role of the
+// whole-program alias analysis the paper's heuristic is built on (§4.3,
+// §5). Allocation sites (allocas, malloc/pm_alloc/pm_root calls, globals)
+// are the abstract objects; pointer values get points-to sets over them.
+// The fixer's hoisting heuristic consumes two queries: MayAlias between
+// pointer values, and the PM-ness of what a pointer may reference.
+package alias
+
+import (
+	"fmt"
+
+	"hippocrates/internal/ir"
+)
+
+// ObjKind classifies an abstract object by its allocation mechanism.
+type ObjKind int
+
+// The object kinds.
+const (
+	ObjGlobal ObjKind = iota
+	ObjAlloca
+	ObjHeap   // malloc
+	ObjPM     // pm_alloc / pm_root
+	ObjExtern // opaque memory reachable through inttoptr
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjAlloca:
+		return "alloca"
+	case ObjHeap:
+		return "heap"
+	case ObjPM:
+		return "pm"
+	case ObjExtern:
+		return "extern"
+	}
+	return fmt.Sprintf("objkind(%d)", int(k))
+}
+
+// Object is an abstract memory object (an allocation site).
+type Object struct {
+	ID   int
+	Kind ObjKind
+	// Site is the allocating value: the *ir.Global, the alloca
+	// instruction, or the allocating call instruction.
+	Site ir.Value
+	// Func is the containing function (nil for globals).
+	Func *ir.Func
+	// PM reports whether the object lives in persistent memory.
+	PM bool
+}
+
+func (o *Object) String() string {
+	where := "module"
+	if o.Func != nil {
+		where = "@" + o.Func.Name
+	}
+	return fmt.Sprintf("%s:%s:%s", o.Kind, where, o.Site.OperandString())
+}
+
+// Analysis holds the solved points-to relation for one module.
+type Analysis struct {
+	mod     *ir.Module
+	objects []*Object
+
+	// nodeOf maps pointer values to dense node IDs.
+	nodeOf map[ir.Value]int
+	values []ir.Value
+
+	// pts[n] is the points-to set of value node n, as an object-ID set.
+	pts []map[int]bool
+	// objPts[o] is the points-to set of pointers stored inside object o.
+	objPts []map[int]bool
+
+	// constraint edges (by node IDs)
+	copyEdges  map[int][]int // src -> dsts: pts(dst) ⊇ pts(src)
+	loadEdges  map[int][]int // p -> dsts:   pts(dst) ⊇ pts(*p)
+	storeEdges map[int][]int // p -> srcs:   pts(*p) ⊇ pts(src)
+}
+
+// Analyze builds and solves the constraint system for the module.
+func Analyze(mod *ir.Module) *Analysis {
+	a := &Analysis{
+		mod:        mod,
+		nodeOf:     make(map[ir.Value]int),
+		copyEdges:  make(map[int][]int),
+		loadEdges:  make(map[int][]int),
+		storeEdges: make(map[int][]int),
+	}
+	a.collect()
+	a.solve()
+	return a
+}
+
+// node interns a pointer value.
+func (a *Analysis) node(v ir.Value) int {
+	if n, ok := a.nodeOf[v]; ok {
+		return n
+	}
+	n := len(a.values)
+	a.nodeOf[v] = n
+	a.values = append(a.values, v)
+	a.pts = append(a.pts, make(map[int]bool))
+	return n
+}
+
+func (a *Analysis) newObject(kind ObjKind, site ir.Value, fn *ir.Func, pm bool) *Object {
+	o := &Object{ID: len(a.objects), Kind: kind, Site: site, Func: fn, PM: pm}
+	a.objects = append(a.objects, o)
+	a.objPts = append(a.objPts, make(map[int]bool))
+	return o
+}
+
+func (a *Analysis) addCopy(src, dst int) {
+	a.copyEdges[src] = append(a.copyEdges[src], dst)
+}
+
+// allocKind classifies a callee as an allocator.
+func allocKind(name string) (ObjKind, bool) {
+	switch name {
+	case "malloc":
+		return ObjHeap, true
+	case "pm_alloc", "pm_root":
+		return ObjPM, true
+	}
+	return 0, false
+}
+
+func (a *Analysis) collect() {
+	// Globals: the value @g points to the object g.
+	for _, g := range a.mod.Globals {
+		o := a.newObject(ObjGlobal, g, nil, g.PM)
+		n := a.node(g)
+		a.pts[n][o.ID] = true
+	}
+	// One shared opaque object for pointers materialized from integers.
+	extern := a.newObject(ObjExtern, ir.Null(), nil, false)
+
+	// returnsOf collects the returned pointer values per function.
+	returnsOf := make(map[*ir.Func][]int)
+
+	for _, f := range a.mod.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpAlloca:
+					o := a.newObject(ObjAlloca, in, f, false)
+					a.pts[a.node(in)][o.ID] = true
+				case ir.OpPtrAdd:
+					// Field-insensitive: derived pointers alias the base.
+					a.addCopy(a.node(in.Args[0]), a.node(in))
+				case ir.OpLoad:
+					if ir.IsPtr(in.Ty) {
+						p := a.node(in.Args[0])
+						a.loadEdges[p] = append(a.loadEdges[p], a.node(in))
+					}
+				case ir.OpStore, ir.OpNTStore:
+					if ir.IsPtr(in.StoreTy) {
+						p := a.node(in.Args[1])
+						a.storeEdges[p] = append(a.storeEdges[p], a.node(in.Args[0]))
+					}
+				case ir.OpIntToPtr:
+					a.pts[a.node(in)][extern.ID] = true
+				case ir.OpCall:
+					callee := in.Callee
+					if kind, isAlloc := allocKind(callee.Name); isAlloc {
+						o := a.newObject(kind, in, f, kind == ObjPM)
+						a.pts[a.node(in)][o.ID] = true
+						continue
+					}
+					if callee.IsDecl() {
+						// memcpy/memset return their destination.
+						if (callee.Name == "memcpy" || callee.Name == "memset") && in.HasResult() {
+							a.addCopy(a.node(in.Args[0]), a.node(in))
+						}
+						continue
+					}
+					for i, arg := range in.Args {
+						if ir.IsPtr(callee.Params[i].Ty) {
+							a.addCopy(a.node(arg), a.node(callee.Params[i]))
+						}
+					}
+					if in.HasResult() && ir.IsPtr(in.Ty) {
+						dst := a.node(in)
+						for _, src := range returnsOfFunc(a, callee, returnsOf) {
+							a.addCopy(src, dst)
+						}
+					}
+				case ir.OpRet:
+					// Handled lazily by returnsOfFunc.
+				}
+			}
+		}
+	}
+}
+
+// returnsOfFunc lazily collects (and caches) the nodes of pointer values
+// returned by f.
+func returnsOfFunc(a *Analysis, f *ir.Func, cache map[*ir.Func][]int) []int {
+	if nodes, ok := cache[f]; ok {
+		return nodes
+	}
+	var nodes []int
+	if !f.IsDecl() && ir.IsPtr(f.Ret) {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpRet && len(in.Args) == 1 {
+					nodes = append(nodes, a.node(in.Args[0]))
+				}
+			}
+		}
+	}
+	cache[f] = nodes
+	return nodes
+}
+
+// solve iterates the inclusion constraints to a fixpoint. The corpus-scale
+// modules (≤ hundreds of KLOC-equivalent IR) solve in a handful of
+// rounds; the harness measures this as part of Fig. 5's offline overhead.
+func (a *Analysis) solve() {
+	changed := true
+	for changed {
+		changed = false
+		union := func(dst map[int]bool, src map[int]bool) {
+			for o := range src {
+				if !dst[o] {
+					dst[o] = true
+					changed = true
+				}
+			}
+		}
+		for src, dsts := range a.copyEdges {
+			for _, dst := range dsts {
+				union(a.pts[dst], a.pts[src])
+			}
+		}
+		for p, dsts := range a.loadEdges {
+			for o := range a.pts[p] {
+				for _, dst := range dsts {
+					union(a.pts[dst], a.objPts[o])
+				}
+			}
+		}
+		for p, srcs := range a.storeEdges {
+			for o := range a.pts[p] {
+				for _, src := range srcs {
+					union(a.objPts[o], a.pts[src])
+				}
+			}
+		}
+	}
+}
+
+// PointsTo returns the abstract objects v may point to.
+func (a *Analysis) PointsTo(v ir.Value) []*Object {
+	n, ok := a.nodeOf[v]
+	if !ok {
+		return nil
+	}
+	var out []*Object
+	for o := range a.pts[n] {
+		out = append(out, a.objects[o])
+	}
+	return out
+}
+
+// MayAlias reports whether two pointer values may reference the same
+// object.
+func (a *Analysis) MayAlias(v, w ir.Value) bool {
+	nv, ok := a.nodeOf[v]
+	if !ok {
+		return false
+	}
+	nw, ok := a.nodeOf[w]
+	if !ok {
+		return false
+	}
+	pv, pw := a.pts[nv], a.pts[nw]
+	if len(pw) < len(pv) {
+		pv, pw = pw, pv
+	}
+	for o := range pv {
+		if pw[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// MayPointToPM reports whether v may reference a PM object.
+func (a *Analysis) MayPointToPM(v ir.Value) bool {
+	n, ok := a.nodeOf[v]
+	if !ok {
+		return false
+	}
+	for o := range a.pts[n] {
+		if a.objects[o].PM {
+			return true
+		}
+	}
+	return false
+}
+
+// MayPointToNonPM reports whether v may reference a volatile object.
+func (a *Analysis) MayPointToNonPM(v ir.Value) bool {
+	n, ok := a.nodeOf[v]
+	if !ok {
+		return false
+	}
+	for o := range a.pts[n] {
+		if !a.objects[o].PM && a.objects[o].Kind != ObjExtern {
+			return true
+		}
+	}
+	return false
+}
+
+// Pointers returns every pointer value the analysis tracked.
+func (a *Analysis) Pointers() []ir.Value {
+	return append([]ir.Value(nil), a.values...)
+}
+
+// Objects returns every abstract object.
+func (a *Analysis) Objects() []*Object {
+	return append([]*Object(nil), a.objects...)
+}

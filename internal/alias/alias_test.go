@@ -1,0 +1,366 @@
+package alias
+
+import (
+	"testing"
+
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/trace"
+)
+
+// buildListing5 reproduces the paper's Listing 5/6 shape:
+//
+//	func update(addr, val) { addr[0] = val }
+//	func modify(addr)      { update(addr, 1) }
+//	func main()            { v := malloc(8); p := pm_alloc(8)
+//	                         modify(v); modify(p) }
+func buildListing5(t testing.TB) (*ir.Module, map[string]ir.Value) {
+	m := ir.NewModule("listing5")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	vals := map[string]ir.Value{}
+
+	update := ir.NewFunc("update", ir.Void,
+		&ir.Param{Name: "addr", Ty: ir.Ptr}, &ir.Param{Name: "val", Ty: ir.I64})
+	m.AddFunc(update)
+	{
+		b := ir.NewBuilder(update)
+		st := b.Store(ir.I64, update.Params[1], update.Params[0])
+		b.Ret(nil)
+		update.Renumber()
+		vals["update.addr"] = update.Params[0]
+		vals["update.store"] = st
+	}
+	modify := ir.NewFunc("modify", ir.Void, &ir.Param{Name: "addr", Ty: ir.Ptr})
+	m.AddFunc(modify)
+	{
+		b := ir.NewBuilder(modify)
+		b.Call(update, modify.Params[0], ir.ConstInt(1))
+		b.Ret(nil)
+		modify.Renumber()
+		vals["modify.addr"] = modify.Params[0]
+	}
+	main := ir.NewFunc("main", ir.Void)
+	m.AddFunc(main)
+	{
+		b := ir.NewBuilder(main)
+		v := b.Call(m.Func("malloc"), ir.ConstInt(8))
+		p := b.Call(m.Func("pm_alloc"), ir.ConstInt(8))
+		b.Call(modify, v)
+		b.Call(modify, p)
+		b.Ret(nil)
+		main.Renumber()
+		vals["main.v"] = v
+		vals["main.p"] = p
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("listing5 does not verify: %v", err)
+	}
+	return m, vals
+}
+
+func TestAndersenInterprocedural(t *testing.T) {
+	m, vals := buildListing5(t)
+	a := Analyze(m)
+
+	addr := vals["update.addr"]
+	v, p := vals["main.v"], vals["main.p"]
+
+	if !a.MayPointToPM(addr) {
+		t.Error("update.addr must may-point-to PM")
+	}
+	if !a.MayPointToNonPM(addr) {
+		t.Error("update.addr must may-point-to volatile memory")
+	}
+	if a.MayPointToPM(v) {
+		t.Error("main.v must not point to PM")
+	}
+	if !a.MayPointToPM(p) || a.MayPointToNonPM(p) {
+		t.Error("main.p must point only to PM")
+	}
+	if a.MayAlias(v, p) {
+		t.Error("v and p must not alias")
+	}
+	if !a.MayAlias(addr, v) || !a.MayAlias(addr, p) {
+		t.Error("update.addr must alias both allocations")
+	}
+	if !a.MayAlias(vals["modify.addr"], addr) {
+		t.Error("modify.addr must alias update.addr")
+	}
+}
+
+func TestPointsToObjects(t *testing.T) {
+	m, vals := buildListing5(t)
+	a := Analyze(m)
+	objs := a.PointsTo(vals["update.addr"])
+	if len(objs) != 2 {
+		t.Fatalf("points-to size = %d, want 2", len(objs))
+	}
+	kinds := map[ObjKind]bool{}
+	for _, o := range objs {
+		kinds[o.Kind] = true
+		if o.Func == nil || o.Func.Name != "main" {
+			t.Errorf("object %s not attributed to @main", o)
+		}
+	}
+	if !kinds[ObjHeap] || !kinds[ObjPM] {
+		t.Errorf("kinds = %v, want heap and pm", kinds)
+	}
+}
+
+func TestLoadStoreThroughMemory(t *testing.T) {
+	// s = alloca ptr; store p -> s; q = load s  ==> q aliases p.
+	m := ir.NewModule("mem")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	p := b.Call(m.Func("pm_alloc"), ir.ConstInt(8))
+	s := b.Alloca(ir.Ptr)
+	b.Store(ir.Ptr, p, s)
+	q := b.Load(ir.Ptr, s)
+	b.Store(ir.I64, ir.ConstInt(1), q)
+	b.Ret(nil)
+	f.Renumber()
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(m)
+	if !a.MayAlias(p, q) {
+		t.Error("q loaded from s must alias p")
+	}
+	if !a.MayPointToPM(q) {
+		t.Error("q must point to PM")
+	}
+	if a.MayAlias(s, q) {
+		t.Error("the slot s must not alias its content q")
+	}
+}
+
+func TestReturnedPointers(t *testing.T) {
+	m := ir.NewModule("rets")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	mk := ir.NewFunc("mk", ir.Ptr)
+	m.AddFunc(mk)
+	{
+		b := ir.NewBuilder(mk)
+		p := b.Call(m.Func("pm_alloc"), ir.ConstInt(64))
+		b.Ret(p)
+		mk.Renumber()
+	}
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	r := b.Call(mk)
+	b.Store(ir.I64, ir.ConstInt(5), r)
+	b.Ret(nil)
+	f.Renumber()
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(m)
+	if !a.MayPointToPM(r) {
+		t.Error("call result must inherit the callee's returned points-to set")
+	}
+}
+
+func TestPtrAddAliasesBase(t *testing.T) {
+	m := ir.NewModule("gep")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	p := b.Call(m.Func("pm_alloc"), ir.ConstInt(64))
+	q := b.PtrAdd(p, ir.ConstInt(2), 8, 0)
+	b.Store(ir.I64, ir.ConstInt(1), q)
+	b.Ret(nil)
+	f.Renumber()
+	a := Analyze(m)
+	if !a.MayAlias(p, q) {
+		t.Error("derived pointer must alias its base (field-insensitive)")
+	}
+}
+
+func TestGlobalsAndExtern(t *testing.T) {
+	m := ir.NewModule("globals")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	m.AddGlobal(&ir.Global{Name: "vg", Elem: ir.I64})
+	m.AddGlobal(&ir.Global{Name: "pg", Elem: ir.I64, PM: true})
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	forged := b.Cast(ir.OpIntToPtr, ir.Ptr, ir.ConstInt(0x1234567))
+	b.Store(ir.I64, ir.ConstInt(1), m.Global("vg"))
+	b.Store(ir.I64, ir.ConstInt(2), m.Global("pg"))
+	b.Store(ir.I64, ir.ConstInt(3), forged)
+	b.Ret(nil)
+	f.Renumber()
+	a := Analyze(m)
+	if a.MayPointToPM(m.Global("vg")) || !a.MayPointToNonPM(m.Global("vg")) {
+		t.Error("volatile global misclassified")
+	}
+	if !a.MayPointToPM(m.Global("pg")) || a.MayPointToNonPM(m.Global("pg")) {
+		t.Error("pm global misclassified")
+	}
+	if a.MayAlias(m.Global("vg"), m.Global("pg")) {
+		t.Error("distinct globals must not alias")
+	}
+	// inttoptr results are opaque: neither PM nor definitely-volatile.
+	if a.MayPointToPM(forged) || a.MayPointToNonPM(forged) {
+		t.Error("forged pointer must be opaque")
+	}
+	if len(a.PointsTo(forged)) != 1 || a.PointsTo(forged)[0].Kind != ObjExtern {
+		t.Errorf("forged points-to = %v", a.PointsTo(forged))
+	}
+}
+
+func TestMemcpyReturnsDst(t *testing.T) {
+	m := ir.NewModule("memcpyret")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	p := b.Call(m.Func("pm_alloc"), ir.ConstInt(64))
+	h := b.Call(m.Func("malloc"), ir.ConstInt(64))
+	r := b.Call(m.Func("memcpy"), p, h, ir.ConstInt(64))
+	b.Ret(nil)
+	f.Renumber()
+	a := Analyze(m)
+	if !a.MayAlias(r, p) {
+		t.Error("memcpy result must alias its destination")
+	}
+	if a.MayAlias(r, h) {
+		t.Error("memcpy result must not alias its source")
+	}
+}
+
+func TestFullMarksListing6(t *testing.T) {
+	m, vals := buildListing5(t)
+	marks := FullMarks(Analyze(m))
+	if !marks.PM(vals["main.p"]) || marks.NonPM(vals["main.p"]) {
+		t.Error("main.p marks wrong")
+	}
+	if marks.PM(vals["main.v"]) || !marks.NonPM(vals["main.v"]) {
+		t.Error("main.v marks wrong")
+	}
+	if !marks.PM(vals["update.addr"]) || !marks.NonPM(vals["update.addr"]) {
+		t.Error("update.addr must be marked both PM and not-PM")
+	}
+	if marks.Name != "full-aa" {
+		t.Errorf("name = %q", marks.Name)
+	}
+}
+
+func TestTraceMarksListing6(t *testing.T) {
+	m, vals := buildListing5(t)
+	// Run the program to produce a real trace; only the PM path events
+	// appear in it.
+	tr := &trace.Trace{Program: "listing5"}
+	mach, err := interp.New(m, interp.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Stores()) != 1 {
+		t.Fatalf("stores in trace = %d, want 1 (only the PM store)", len(tr.Stores()))
+	}
+	a := Analyze(m)
+	marks := TraceMarks(a, m, tr)
+	if marks.Name != "trace-aa" {
+		t.Errorf("name = %q", marks.Name)
+	}
+	// The PM event path: update.addr (store operand), modify.addr (call
+	// argument at main's second modify call is main.p; at modify's call
+	// to update the argument is modify.addr).
+	if !marks.PM(vals["update.addr"]) {
+		t.Error("store operand must be trace-marked PM")
+	}
+	if !marks.PM(vals["modify.addr"]) {
+		t.Error("call argument on the PM path must be trace-marked PM")
+	}
+	if !marks.PM(vals["main.p"]) {
+		t.Error("main.p must be trace-marked PM")
+	}
+	if marks.PM(vals["main.v"]) || !marks.NonPM(vals["main.v"]) {
+		t.Error("main.v must be trace-marked not-PM")
+	}
+	if !marks.NonPM(vals["update.addr"]) {
+		t.Error("update.addr must also be not-PM (mixed pointer)")
+	}
+}
+
+func TestTraceMarksIsolatedVolatilePointer(t *testing.T) {
+	// A pointer with no may-alias connection to any PM event is not-PM.
+	m := ir.NewModule("isolated")
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	pm := b.Call(m.Func("pm_alloc"), ir.ConstInt(8))
+	heap := b.Call(m.Func("malloc"), ir.ConstInt(8))
+	b.Store(ir.I64, ir.ConstInt(1), pm)
+	b.Store(ir.I64, ir.ConstInt(2), heap)
+	b.Flush(ir.CLWB, pm)
+	b.Fence(ir.SFENCE)
+	b.Ret(nil)
+	f.Renumber()
+	tr := &trace.Trace{}
+	mach, err := interp.New(m, interp.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(m)
+	marks := TraceMarks(a, m, tr)
+	if !marks.PM(pm) || marks.NonPM(pm) {
+		t.Error("pm pointer marks wrong")
+	}
+	if marks.PM(heap) || !marks.NonPM(heap) {
+		t.Error("isolated heap pointer must be trace-marked not-PM")
+	}
+}
+
+func TestPointersAndObjectsEnumerate(t *testing.T) {
+	m, _ := buildListing5(t)
+	a := Analyze(m)
+	if len(a.Pointers()) == 0 {
+		t.Error("no pointers tracked")
+	}
+	objs := a.Objects()
+	var pmObjs int
+	for _, o := range objs {
+		if o.PM {
+			pmObjs++
+		}
+		_ = o.String()
+	}
+	if pmObjs != 1 {
+		t.Errorf("pm objects = %d, want 1", pmObjs)
+	}
+}
+
+func TestUntrackedValuesAreSafe(t *testing.T) {
+	m, _ := buildListing5(t)
+	a := Analyze(m)
+	c := ir.ConstInt(5)
+	if a.MayAlias(c, c) || a.MayPointToPM(c) || a.MayPointToNonPM(c) || a.PointsTo(c) != nil {
+		t.Error("untracked values must have empty points-to behaviour")
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the Fig. 4 result as a horizontal bar chart, one group of
+// three bars per workload — the textual analogue of the paper's figure.
+func (r *Fig4Result) Chart() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — throughput (ops per simulated second)\n\n")
+	// Scale to the global maximum.
+	max := 0.0
+	for _, row := range r.Rows {
+		for _, s := range row.Series {
+			if s.Mean > max {
+				max = s.Mean
+			}
+		}
+	}
+	if max == 0 {
+		return "no data"
+	}
+	const width = 50
+	glyphs := map[string]rune{"RedisH-intra": '░', "Redis-pm": '▒', "RedisH-full": '█'}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s\n", row.Workload)
+		for _, s := range row.Series {
+			n := int(s.Mean / max * width)
+			if n < 1 && s.Mean > 0 {
+				n = 1
+			}
+			bar := strings.Repeat(string(glyphs[s.Build]), n)
+			fmt.Fprintf(&b, "  %-13s %-*s %9.0f ±%.0f\n", s.Build, width, bar, s.Mean, s.CI95)
+		}
+	}
+	b.WriteString("\nlegend: ░ RedisH-intra   ▒ Redis-pm   █ RedisH-full\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/corpus"
+)
+
+// Fig3Row is one row of the Fig. 3 qualitative comparison.
+type Fig3Row struct {
+	Issues     []int
+	HippoFix   string
+	DevFix     string
+	Comparison string
+}
+
+// Fig3Result is the Fig. 3 table plus the underlying per-issue outcomes.
+type Fig3Result struct {
+	Rows []Fig3Row
+	// PerIssue maps issue number to the applied fix kinds.
+	PerIssue map[int][]core.FixKind
+	// Identical / Equivalent count issues per verdict (paper: 8 and 3).
+	Identical  int
+	Equivalent int
+}
+
+// RunFig3 repairs the eleven reproduced PMDK bugs and compares the applied
+// fixes with the recorded developer fixes.
+func RunFig3() (*Fig3Result, error) {
+	res := &Fig3Result{PerIssue: map[int][]core.FixKind{}}
+	type rowKey struct{ hip, dev, cmp string }
+	rows := map[rowKey]*Fig3Row{}
+	for _, p := range corpus.ByTarget("pmdk") {
+		m := p.MustCompile()
+		pr, err := core.RunAndRepair(m, p.Entry, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		if !pr.Fixed() {
+			return nil, fmt.Errorf("%s: not fixed", p.Name)
+		}
+		bug := p.Bugs[0]
+		for _, fx := range pr.Fix.Fixes {
+			res.PerIssue[bug.Issue] = append(res.PerIssue[bug.Issue], fx.Kind)
+			if !bug.Species.Matches(fx.Kind) {
+				return nil, fmt.Errorf("%s: fix kind %v does not match expected %v", p.Name, fx.Kind, bug.Species)
+			}
+		}
+		switch bug.Comparison {
+		case "identical":
+			res.Identical++
+		case "equivalent":
+			res.Equivalent++
+		}
+		k := rowKey{hip: bug.Species.String(), dev: bug.DevFix, cmp: bug.Comparison}
+		row := rows[k]
+		if row == nil {
+			row = &Fig3Row{HippoFix: bug.Species.String(), DevFix: bug.DevFix, Comparison: bug.Comparison}
+			rows[k] = row
+		}
+		row.Issues = append(row.Issues, bug.Issue)
+	}
+	for _, row := range rows {
+		sort.Ints(row.Issues)
+		res.Rows = append(res.Rows, *row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Issues[0] < res.Rows[j].Issues[0] })
+	return res, nil
+}
+
+// Render prints the Fig. 3 table.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3 — Hippocrates fixes vs PMDK developer fixes (11 reproduced issues)\n")
+	for _, row := range r.Rows {
+		nums := make([]string, len(row.Issues))
+		for i, n := range row.Issues {
+			nums[i] = fmt.Sprint(n)
+		}
+		verdict := "functionally identical"
+		if row.Comparison == "equivalent" {
+			verdict = "functionally equivalent; developer fix is more portable"
+		}
+		fmt.Fprintf(&b, "issues %-28s | Hippocrates: %-35s | developer: %-55s | %s\n",
+			strings.Join(nums, ", "), row.HippoFix, row.DevFix, verdict)
+	}
+	fmt.Fprintf(&b, "verdicts: %d identical, %d equivalent (paper: 8 and 3)\n", r.Identical, r.Equivalent)
+	return b.String()
+}

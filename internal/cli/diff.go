@@ -1,0 +1,163 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffLines renders a minimal unified-style diff between two texts using
+// Myers's O((N+M)D) algorithm. The hippocrates CLI uses it to show
+// exactly which instructions a repair inserted.
+func DiffLines(before, after string) string {
+	a := strings.Split(before, "\n")
+	b := strings.Split(after, "\n")
+	ops := myers(a, b)
+	var out strings.Builder
+	// Render with 2 lines of context around changes.
+	const ctx = 2
+	type line struct {
+		tag  byte // ' ', '-', '+'
+		text string
+	}
+	var lines []line
+	for _, op := range ops {
+		switch op.kind {
+		case opEq:
+			lines = append(lines, line{' ', a[op.aIdx]})
+		case opDel:
+			lines = append(lines, line{'-', a[op.aIdx]})
+		case opIns:
+			lines = append(lines, line{'+', b[op.bIdx]})
+		}
+	}
+	// Mark which lines to keep (changes plus context).
+	keep := make([]bool, len(lines))
+	for i, l := range lines {
+		if l.tag == ' ' {
+			continue
+		}
+		for j := max(0, i-ctx); j < len(lines) && j <= i+ctx; j++ {
+			keep[j] = true
+		}
+	}
+	last := -2
+	for i, l := range lines {
+		if !keep[i] {
+			continue
+		}
+		if i != last+1 {
+			out.WriteString("@@\n")
+		}
+		last = i
+		fmt.Fprintf(&out, "%c %s\n", l.tag, l.text)
+	}
+	if out.Len() == 0 {
+		return "(no differences)\n"
+	}
+	return out.String()
+}
+
+type editKind int
+
+const (
+	opEq editKind = iota
+	opDel
+	opIns
+)
+
+type edit struct {
+	kind       editKind
+	aIdx, bIdx int
+}
+
+// myers computes a shortest edit script between a and b.
+func myers(a, b []string) []edit {
+	n, m := len(a), len(b)
+	maxD := n + m
+	if maxD == 0 {
+		return nil
+	}
+	// v maps diagonal k (offset by maxD) to the furthest x.
+	v := make([]int, 2*maxD+1)
+	// trace snapshots v per step for backtracking.
+	var traceV [][]int
+	var solved bool
+	var dSolved int
+	for d := 0; d <= maxD && !solved; d++ {
+		vc := make([]int, len(v))
+		copy(vc, v)
+		traceV = append(traceV, vc)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[maxD+k-1] < v[maxD+k+1]) {
+				x = v[maxD+k+1] // down: insertion
+			} else {
+				x = v[maxD+k-1] + 1 // right: deletion
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[maxD+k] = x
+			if x >= n && y >= m {
+				solved = true
+				dSolved = d
+				break
+			}
+		}
+	}
+	// Backtrack.
+	var rev []edit
+	x, y := n, m
+	for d := dSolved; d > 0; d-- {
+		vprev := traceV[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vprev[maxD+k-1] < vprev[maxD+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vprev[maxD+prevK]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			x--
+			y--
+			rev = append(rev, edit{opEq, x, y})
+		}
+		if x == prevX {
+			y--
+			rev = append(rev, edit{opIns, x, y})
+		} else {
+			x--
+			rev = append(rev, edit{opDel, x, y})
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		rev = append(rev, edit{opEq, x, y})
+	}
+	for y > 0 {
+		y--
+		rev = append(rev, edit{opIns, 0, y})
+	}
+	for x > 0 {
+		x--
+		rev = append(rev, edit{opDel, x, 0})
+	}
+	// Reverse.
+	out := make([]edit, len(rev))
+	for i, e := range rev {
+		out[len(rev)-1-i] = e
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

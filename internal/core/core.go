@@ -1,0 +1,320 @@
+// Package core implements Hippocrates, the paper's contribution: an
+// automated fixer for persistent-memory durability bugs that is guaranteed
+// to "do no harm". It consumes a module, the PM bug-finder trace, and the
+// detector's reports, and rewrites the module with the three safe fix
+// species of §4.2:
+//
+//  1. intraprocedural fence insertion,
+//  2. intraprocedural flush insertion,
+//  3. the persistent subprogram transformation (interprocedural fixes),
+//     placed by the alias-analysis hoisting heuristic of §4.3.
+//
+// Fix computation follows the paper's three phases: naive intraprocedural
+// fixes, fix reduction, and heuristic hoisting.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hippocrates/internal/alias"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/trace"
+)
+
+// MarksMode selects how pointers are classified PM / not-PM for the
+// hoisting heuristic (§6.1 evaluates both; they must agree).
+type MarksMode int
+
+// The marking strategies.
+const (
+	// FullAA derives marks from whole-program points-to facts.
+	FullAA MarksMode = iota
+	// TraceAA derives marks from the bug-finder trace alone.
+	TraceAA
+)
+
+func (m MarksMode) String() string {
+	if m == TraceAA {
+		return "trace-aa"
+	}
+	return "full-aa"
+}
+
+// Options configures the fixer. The zero value is the paper's default
+// configuration (Full-AA marks, hoisting enabled, CLWB flushes).
+type Options struct {
+	Marks MarksMode
+	// DisableHoisting restricts the fixer to intraprocedural fixes; this
+	// is the RedisH-intra configuration of §6.3.
+	DisableHoisting bool
+	// DisableReduction turns off phase-2 fix reduction (same-line flush
+	// merging and adjacent-duplicate elision) — the ablation knob for
+	// measuring what the reduction phase buys.
+	DisableReduction bool
+	// FlushKind selects the inserted flush flavour (default CLWB).
+	FlushKind ir.FlushKind
+	// DebugScores, when non-nil, receives a line per heuristic candidate
+	// (fix location and score) for diagnosis.
+	DebugScores io.Writer
+}
+
+// FixKind classifies an applied fix.
+type FixKind int
+
+// The fix kinds.
+const (
+	FixIntraFlush FixKind = iota
+	FixIntraFence
+	FixIntraFlushFence
+	FixInterproc
+)
+
+func (k FixKind) String() string {
+	switch k {
+	case FixIntraFlush:
+		return "intraprocedural-flush"
+	case FixIntraFence:
+		return "intraprocedural-fence"
+	case FixIntraFlushFence:
+		return "intraprocedural-flush+fence"
+	case FixInterproc:
+		return "interprocedural"
+	}
+	return fmt.Sprintf("fixkind(%d)", int(k))
+}
+
+// Interprocedural reports whether the fix used the persistent subprogram
+// transformation.
+func (k FixKind) Interprocedural() bool { return k == FixInterproc }
+
+// Fix describes one applied bug fix.
+type Fix struct {
+	Kind   FixKind
+	Report *pmcheck.Report
+	// AppliedAt is the store site (intraprocedural) or the transformed
+	// call site (interprocedural).
+	AppliedAt trace.Frame
+	// HoistDepth is 0 for intraprocedural fixes, otherwise the number of
+	// call-stack levels above the PM modification.
+	HoistDepth int
+	// Score is the heuristic score of the chosen location.
+	Score int
+	// Clones lists the persistent subprograms created or reused.
+	Clones []string
+}
+
+func (f *Fix) String() string {
+	s := fmt.Sprintf("%s fix for [%s at %s]", f.Kind, f.Report.Class(), f.Report.Store.Site())
+	if f.Kind.Interprocedural() {
+		s += fmt.Sprintf(" hoisted %d level(s) to %s", f.HoistDepth, f.AppliedAt)
+	}
+	return s
+}
+
+// Result summarizes a fixing run.
+type Result struct {
+	Fixes []*Fix
+	// Module is the repaired module (the input module, mutated and
+	// renumbered).
+	Module *ir.Module
+	// InstrsBefore / InstrsAfter measure code-size impact (§6.4).
+	InstrsBefore int
+	InstrsAfter  int
+	// ClonesCreated counts persistent subprograms created (reuse does not
+	// recount, §4.2.4).
+	ClonesCreated int
+	// ReducedFixes counts insertions elided by fix reduction (phase 2).
+	ReducedFixes int
+	// MarksName records the marking strategy used.
+	MarksName string
+}
+
+// InterprocFixes returns how many fixes were interprocedural.
+func (r *Result) InterprocFixes() int {
+	n := 0
+	for _, f := range r.Fixes {
+		if f.Kind.Interprocedural() {
+			n++
+		}
+	}
+	return n
+}
+
+// Fixer is the Hippocrates engine bound to one module and trace.
+type Fixer struct {
+	opts  Options
+	mod   *ir.Module
+	an    *alias.Analysis
+	marks *alias.Marks
+	index map[string]map[int]*ir.Instr
+
+	clones      map[*ir.Func]*ir.Func
+	needsWork   map[*ir.Func]int // 0 unknown, 1 visiting, 2 yes, 3 no
+	transSites  map[*ir.Instr]*ir.Func
+	escapeCache map[*ir.Instr]bool
+
+	result *Result
+}
+
+// NewFixer analyzes the module and prepares a fixing session. The module
+// must be the exact module (same instruction numbering) the trace was
+// recorded against; it is mutated in place by Apply.
+func NewFixer(mod *ir.Module, tr *trace.Trace, opts Options) *Fixer {
+	an := alias.Analyze(mod)
+	var marks *alias.Marks
+	if opts.Marks == TraceAA {
+		marks = alias.TraceMarks(an, mod, tr)
+	} else {
+		marks = alias.FullMarks(an)
+	}
+	fx := &Fixer{
+		opts:        opts,
+		mod:         mod,
+		an:          an,
+		marks:       marks,
+		index:       make(map[string]map[int]*ir.Instr),
+		clones:      make(map[*ir.Func]*ir.Func),
+		needsWork:   make(map[*ir.Func]int),
+		transSites:  make(map[*ir.Instr]*ir.Func),
+		escapeCache: make(map[*ir.Instr]bool),
+		result:      &Result{Module: mod, MarksName: marks.Name, InstrsBefore: mod.NumInstrs()},
+	}
+	for _, f := range mod.Funcs {
+		byID := make(map[int]*ir.Instr, f.NumInstrs())
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				byID[in.ID] = in
+			}
+		}
+		fx.index[f.Name] = byID
+	}
+	return fx
+}
+
+// resolve maps a trace frame to its instruction.
+func (fx *Fixer) resolve(f trace.Frame) *ir.Instr {
+	byID, ok := fx.index[f.Func]
+	if !ok {
+		return nil
+	}
+	return byID[f.InstrID]
+}
+
+// Repair is the whole-tool entry point: compute and apply fixes for every
+// report, verify the module, and renumber. The input module is mutated.
+func Repair(mod *ir.Module, tr *trace.Trace, res *pmcheck.Result, opts Options) (*Result, error) {
+	fx := NewFixer(mod, tr, opts)
+	if err := fx.Apply(res.Reports); err != nil {
+		return nil, err
+	}
+	return fx.Result(), nil
+}
+
+// Result returns the accumulated result.
+func (fx *Fixer) Result() *Result { return fx.result }
+
+// Apply computes fixes for the reports (phases 1–3) and applies them.
+func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
+	plans := make([]*plan, 0, len(reports))
+	for _, rep := range reports {
+		p, err := fx.plan(rep)
+		if err != nil {
+			return err
+		}
+		plans = append(plans, p)
+	}
+	// Deterministic application order: by store site.
+	sort.SliceStable(plans, func(i, j int) bool {
+		a, b := plans[i].report.Key(), plans[j].report.Key()
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.InstrID < b.InstrID
+	})
+	if !fx.opts.DisableReduction {
+		fx.reduceFlushGroups(plans)
+	}
+	for _, p := range plans {
+		if err := fx.apply(p); err != nil {
+			return err
+		}
+	}
+	for _, f := range fx.mod.Funcs {
+		f.Renumber()
+	}
+	fx.result.InstrsAfter = fx.mod.NumInstrs()
+	if err := ir.Verify(fx.mod); err != nil {
+		return fmt.Errorf("hippocrates: fixed module does not verify: %w", err)
+	}
+	return nil
+}
+
+// plan is the computed fix for one report before application.
+type plan struct {
+	report *pmcheck.Report
+	// storeIn is the offending instruction (store, ntstore, or a call to
+	// builtin memcpy/memset).
+	storeIn *ir.Instr
+	// hoist selects the interprocedural transformation; nil means
+	// intraprocedural.
+	hoist *candidate
+	score int
+	// fenceAfter are the instructions after which a fence must be
+	// inserted for fence-only needs.
+	fenceAfter []*ir.Instr
+	// groupLeader, when set to another plan, says this plan's flush was
+	// reduced into the leader's (same static cache line, same block —
+	// phase 2 fix reduction). groupFence on a leader requests the shared
+	// trailing fence.
+	groupLeader *plan
+	groupFence  bool
+}
+
+func (fx *Fixer) plan(rep *pmcheck.Report) (*plan, error) {
+	site := rep.Store.Site()
+	in := fx.resolve(site)
+	if in == nil {
+		return nil, fmt.Errorf("hippocrates: cannot locate %s in module (was the module renumbered after tracing?)", site)
+	}
+	switch in.Op {
+	case ir.OpStore, ir.OpNTStore:
+	case ir.OpCall:
+		if n := in.Callee.Name; n != "memcpy" && n != "memset" {
+			return nil, fmt.Errorf("hippocrates: store event points at call to @%s", n)
+		}
+	default:
+		return nil, fmt.Errorf("hippocrates: store event points at %s", ir.FormatInstr(in))
+	}
+	p := &plan{report: rep, storeIn: in}
+
+	if rep.NeedFlush {
+		best := fx.chooseCandidate(rep)
+		p.score = best.score
+		if best.depth > 0 {
+			p.hoist = &best
+		}
+	}
+	if rep.NeedFence && p.hoist == nil {
+		// Fence goes after every flush that covered the store (for
+		// flush-needing bugs, after the flush we are about to insert —
+		// handled at apply time; for fence-only bugs, after the existing
+		// flush sites).
+		if !rep.NeedFlush {
+			for _, fs := range rep.FlushSites {
+				fin := fx.resolve(fs)
+				if fin == nil {
+					return nil, fmt.Errorf("hippocrates: cannot locate flush site %s", fs)
+				}
+				p.fenceAfter = append(p.fenceAfter, fin)
+			}
+			if len(p.fenceAfter) == 0 {
+				// Defensive: fence directly after the store.
+				p.fenceAfter = append(p.fenceAfter, in)
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,8 @@
+package core
+
+import (
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/trace"
+)
+
+func checkTrace(tr *trace.Trace) *pmcheck.Result { return pmcheck.Check(tr) }

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/trace"
+)
+
+// PipelineResult is the outcome of the full trace→detect→fix→re-check
+// workflow (Fig. 2 of the paper, Steps 1–4 plus validation).
+type PipelineResult struct {
+	// Trace is the bug-finder trace of the original module.
+	Trace *trace.Trace
+	// Before / After are the detector results pre- and post-repair.
+	Before *pmcheck.Result
+	After  *pmcheck.Result
+	// Fix describes the applied fixes (nil when Before was already clean).
+	Fix *Result
+}
+
+// Fixed reports whether the module is clean after repair.
+func (p *PipelineResult) Fixed() bool { return p.After.Clean() }
+
+// TraceModule executes mod's entry function on the simulator and returns
+// the recorded PM trace. As the paper does for trace generation (§5.1),
+// the module is used as-is, unoptimized.
+func TraceModule(mod *ir.Module, entry string, args ...uint64) (*trace.Trace, error) {
+	tr := &trace.Trace{Program: mod.Name}
+	mach, err := interp.New(mod, interp.Options{Trace: tr})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mach.Run(entry, args...); err != nil {
+		return nil, fmt.Errorf("tracing @%s: %w", entry, err)
+	}
+	return tr, nil
+}
+
+// RunAndRepair runs the whole Hippocrates workflow on mod, mutating it in
+// place: trace the entry point, detect durability bugs, compute and apply
+// fixes, then re-trace and re-check to validate that the bugs are gone
+// (the validation step of §6.1).
+func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (*PipelineResult, error) {
+	tr, err := TraceModule(mod, entry, args...)
+	if err != nil {
+		return nil, err
+	}
+	res := pmcheck.Check(tr)
+	out := &PipelineResult{Trace: tr, Before: res}
+	if res.Clean() {
+		out.After = res
+		return out, nil
+	}
+	fixRes, err := Repair(mod, tr, res, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.Fix = fixRes
+	tr2, err := TraceModule(mod, entry, args...)
+	if err != nil {
+		return nil, fmt.Errorf("re-tracing repaired module: %w", err)
+	}
+	out.After = pmcheck.Check(tr2)
+	return out, nil
+}

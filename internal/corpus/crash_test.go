@@ -1,0 +1,92 @@
+package corpus
+
+import (
+	"testing"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmem"
+)
+
+// TestCrashImagesBeforeAndAfterRepair is the crash-consistency ground
+// truth behind the detector: in every buggy target, a crash at the end of
+// the workload (worst case: nothing non-durable reached PM) loses data;
+// after Hippocrates repairs the program, the post-crash image is
+// byte-identical to the in-memory PM state.
+func TestCrashImagesBeforeAndAfterRepair(t *testing.T) {
+	for _, p := range All() {
+		if p.Target == "redis" || len(p.Bugs) == 0 {
+			continue
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			// Buggy build: the worst-case crash image differs from the
+			// program's view of PM.
+			buggy := p.MustCompile()
+			machB, err := interp.New(buggy, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := machB.Run(p.Entry); err != nil {
+				t.Fatal(err)
+			}
+			if d := pmem.DiffPM(machB.CrashImage(nil), machB.Mem); d == 0 {
+				t.Error("buggy build lost no bytes in the worst-case crash image")
+			}
+
+			// Repaired build: nothing volatile remains.
+			fixed := p.MustCompile()
+			if _, err := core.RunAndRepair(fixed, p.Entry, core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			machF, err := interp.New(fixed, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := machF.Run(p.Entry); err != nil {
+				t.Fatal(err)
+			}
+			if d := pmem.DiffPM(machF.CrashImage(nil), machF.Mem); d != 0 {
+				t.Errorf("repaired build still loses %d byte(s) in a crash", d)
+			}
+		})
+	}
+}
+
+// TestPCLHTCrashRecovery runs the P-CLHT recovery check against crash
+// images: the buggy index loses committed updates, the repaired one keeps
+// them all.
+func TestPCLHTCrashRecovery(t *testing.T) {
+	p := PCLHTProgram()
+	runAndRecover := func(m *ir.Module) uint64 {
+		t.Helper()
+		mach, err := interp.New(m, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret, err := mach.Run(p.Entry); err != nil || ret != 0 {
+			t.Fatalf("workload: ret=%d err=%v", ret, err)
+		}
+		img := mach.CrashImage(nil)
+		rec, err := interp.New(m, interp.Options{Memory: img, ResumePM: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.Run("crash_check")
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		return got
+	}
+	buggy := p.MustCompile()
+	if got := runAndRecover(buggy); got == 0 {
+		t.Error("buggy P-CLHT recovered losslessly from the crash image")
+	}
+	fixed := p.MustCompile()
+	if _, err := core.RunAndRepair(fixed, p.Entry, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := runAndRecover(fixed); got != 0 {
+		t.Errorf("repaired P-CLHT lost data across the crash: crash_check = %d", got)
+	}
+}

@@ -1,0 +1,35 @@
+package corpus
+
+// ExtensionPrograms returns corpus targets beyond the paper's evaluation:
+// additional PM data structures in the spirit of the systems the paper
+// surveys (§8 — persistent trees like NV-Tree, transactional logging like
+// Atlas/libpmemobj transactions). They exercise deeper call stacks and
+// ordering-heavier write paths than the §6.1 targets and are validated by
+// their own tests; they do not count toward the paper's 23 bugs.
+func ExtensionPrograms() []*Program {
+	return []*Program{
+		{
+			Name:    "nvtree",
+			Target:  "nvtree",
+			File:    "nvtree/nvtree.pmc",
+			Entry:   "main",
+			WantRet: 0,
+			Bugs: []KnownBug{
+				{ID: "nvtree-1-leaf-entry"},
+				{ID: "nvtree-2-sibling-link"},
+				{ID: "nvtree-3-count-publish"},
+			},
+		},
+		{
+			Name:    "pmlog",
+			Target:  "pmlog",
+			File:    "pmlog/pmlog.pmc",
+			Entry:   "main",
+			WantRet: 0,
+			Bugs: []KnownBug{
+				{ID: "pmlog-1-undo-capture"},
+				{ID: "pmlog-2-commit-mark"},
+			},
+		},
+	}
+}

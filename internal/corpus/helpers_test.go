@@ -1,0 +1,8 @@
+package corpus
+
+import (
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/trace"
+)
+
+func pmcheckCheck(tr *trace.Trace) *pmcheck.Result { return pmcheck.Check(tr) }

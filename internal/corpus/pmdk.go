@@ -1,0 +1,65 @@
+package corpus
+
+import "hippocrates/internal/pmem"
+
+// devInterproc and devPortable are the two developer-fix descriptions of
+// Fig. 3.
+const (
+	devInterproc = "interprocedural flush+fence (persistent function variant)"
+	devPortable  = "interprocedural flush via libpmem (run-time instruction dispatch)"
+)
+
+// PMDKPrograms returns the eleven reproduced PMDK issues (§6.1, Fig. 3):
+// eight fixed interprocedurally in ways functionally identical to the
+// developer fixes, three fixed with intraprocedural CLWBs that are
+// functionally equivalent to the developers' more portable libpmem
+// flushes.
+func PMDKPrograms() []*Program {
+	interproc := func(issue int, name, file string, class pmem.BugClass) *Program {
+		return &Program{
+			Name:    name,
+			Target:  "pmdk",
+			File:    file,
+			Entry:   "main",
+			WantRet: 0,
+			Bugs: []KnownBug{{
+				ID:         name,
+				Issue:      issue,
+				Class:      class,
+				Species:    SpeciesInterproc,
+				DevFix:     devInterproc,
+				Comparison: "identical",
+			}},
+		}
+	}
+	intra := func(issue int, name, file string) *Program {
+		return &Program{
+			Name:    name,
+			Target:  "pmdk",
+			File:    file,
+			Entry:   "main",
+			WantRet: 0,
+			Bugs: []KnownBug{{
+				ID:         name,
+				Issue:      issue,
+				Class:      pmem.MissingFlush,
+				Species:    SpeciesIntraFlush,
+				DevFix:     devPortable,
+				Comparison: "equivalent",
+			}},
+		}
+	}
+	return []*Program{
+		interproc(447, "pmdk-447-list-insert", "pmdk/issue447_list_insert.pmc", pmem.MissingFlush),
+		interproc(458, "pmdk-458-heap-zone", "pmdk/issue458_heap_zone.pmc", pmem.MissingFlushFence),
+		interproc(459, "pmdk-459-redo-log", "pmdk/issue459_redo_log.pmc", pmem.MissingFlush),
+		interproc(460, "pmdk-460-type-num", "pmdk/issue460_type_num.pmc", pmem.MissingFlushFence),
+		interproc(461, "pmdk-461-pool-desc", "pmdk/issue461_pool_desc.pmc", pmem.MissingFlush),
+		interproc(585, "pmdk-585-buffer-copy", "pmdk/issue585_buffer_copy.pmc", pmem.MissingFlush),
+		interproc(942, "pmdk-942-tx-misuse", "pmdk/issue942_tx_misuse.pmc", pmem.MissingFlush),
+		interproc(945, "pmdk-945-array-fill", "pmdk/issue945_array_fill.pmc", pmem.MissingFlush),
+		intra(452, "pmdk-452-oid-clear", "pmdk/issue452_oid_clear.pmc"),
+		intra(940, "pmdk-940-stats-misuse", "pmdk/issue940_stats_misuse.pmc"),
+		intra(943, "pmdk-943-flag-misuse", "pmdk/issue943_flag_misuse.pmc"),
+	}
+}

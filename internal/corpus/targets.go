@@ -1,0 +1,61 @@
+package corpus
+
+import "hippocrates/internal/pmem"
+
+// PCLHTProgram returns the P-CLHT index with its two seeded bugs (§6.1:
+// "2 previously undocumented bugs in P-CLHT").
+func PCLHTProgram() *Program {
+	return &Program{
+		Name:    "pclht",
+		Target:  "pclht",
+		File:    "pclht/clht.pmc",
+		Entry:   "main",
+		WantRet: 0,
+		Bugs: []KnownBug{
+			{ID: "pclht-1", Class: pmem.MissingFlush, Species: SpeciesInterproc},
+			{ID: "pclht-2", Class: pmem.MissingFlush, Species: SpeciesIntraFlush},
+		},
+	}
+}
+
+// MemcachedProgram returns memcached-pm with its ten seeded bugs (§6.1:
+// "10 previously undocumented bugs in memcached-pm").
+func MemcachedProgram() *Program {
+	bug := func(id string) KnownBug { return KnownBug{ID: id} }
+	return &Program{
+		Name:    "memcached",
+		Target:  "memcached",
+		File:    "memcached/memcached.pmc",
+		Entry:   "main",
+		WantRet: 0,
+		Bugs: []KnownBug{
+			bug("mc-1-hash-chain"), bug("mc-2-lru-head"), bug("mc-3-unlink-splice"),
+			bug("mc-4-cas-copy"), bug("mc-5-fetched-flag"), bug("mc-6-touch-exptime"),
+			bug("mc-7-cas-id"), bug("mc-8-curr-items"), bug("mc-9-evictions"),
+			bug("mc-10-slab-free"),
+		},
+	}
+}
+
+// RedisPrograms returns the two Redis builds of §6.3: the hand-persisted
+// baseline (clean under pmcheck, as the paper found Redis-pmem to be) and
+// the flush-free build Hippocrates repairs.
+func RedisPrograms() []*Program {
+	return []*Program{
+		{
+			Name:    "redis-pmem",
+			Target:  "redis",
+			File:    "redis/redis.pmc",
+			Entry:   "trace_main",
+			WantRet: 0,
+		},
+		{
+			Name:      "redis-flushfree",
+			Target:    "redis",
+			File:      "redis/redis.pmc",
+			Entry:     "trace_main",
+			WantRet:   0,
+			FlushFree: true,
+		},
+	}
+}

@@ -1,0 +1,626 @@
+// Package interp executes IR modules on the simulated persistent-memory
+// machine (internal/pmem). It plays the role that native execution under
+// pmemcheck/Valgrind plays in the paper: it runs the program, applies the
+// durability state machine to every PM operation, accumulates simulated
+// time from the cost model, and (optionally) records the pmemcheck-style
+// event trace that the bug detector and the fixer consume.
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmem"
+	"hippocrates/internal/trace"
+)
+
+// Options configures a Machine.
+type Options struct {
+	// Cost is the latency model; nil selects pmem.DefaultCostModel.
+	Cost *pmem.CostModel
+	// Trace, when non-nil, receives every PM event.
+	Trace *trace.Trace
+	// Stdout receives output from the print builtins; nil discards it.
+	Stdout io.Writer
+	// MaxSteps bounds executed instructions (0 means the 100M default).
+	MaxSteps int64
+	// Memory, when non-nil, is used as the machine's memory instead of a
+	// fresh one — pass a crash image here to run recovery code. With
+	// ResumePM set, persistent globals are not re-initialized (their
+	// bytes are whatever the image holds), matching a restart on real
+	// hardware.
+	Memory   *pmem.Memory
+	ResumePM bool
+	// CrashAtCheckpoint, when positive, aborts execution with
+	// ErrSimulatedCrash at the Nth durability point (1-based). The
+	// machine's tracker then holds the exact durability state at the
+	// crash, ready for CrashImage — the Yat-style exhaustive
+	// crash-testing hook.
+	CrashAtCheckpoint int
+}
+
+// ErrSimulatedCrash is returned by Run when Options.CrashAtCheckpoint
+// fires. The machine remains inspectable.
+var ErrSimulatedCrash = fmt.Errorf("interp: simulated crash at durability point")
+
+// Builtin is the signature of a registered external function.
+type Builtin func(m *Machine, args []uint64) (uint64, error)
+
+// Machine executes one module instance.
+type Machine struct {
+	Mod   *ir.Module
+	Mem   *pmem.Memory
+	Track *pmem.Tracker
+	Clock pmem.Clock
+
+	// Violations collects durability violations observed online at
+	// checkpoints (the detector recomputes them offline from the trace).
+	Violations []pmem.Violation
+
+	opts     Options
+	cost     *pmem.CostModel
+	builtins map[string]Builtin
+
+	globalAddr map[string]uint64
+	heapNext   uint64
+	pmNext     uint64
+	rootAddr   uint64
+	rootSize   uint64
+
+	frames      []*frame
+	framePool   []*frame
+	seq         int
+	steps       int64
+	max         int64
+	checkpoints int
+}
+
+type frame struct {
+	fn *ir.Func
+	// regs is the dense register file: parameters first, then
+	// result-producing instructions, indexed by ir's Renumber slots.
+	regs []uint64
+	cur  *ir.Instr // instruction being executed (for stack traces)
+
+	// Stack allocation bookkeeping: allocas carve from
+	// [stackTop-stackUsed, stackTop); storage is reclaimed on return.
+	stackTop  uint64
+	stackUsed uint64
+}
+
+func (f *frame) stackLow() uint64 { return f.stackTop - f.stackUsed }
+
+// getFrame recycles call frames: register slots need no clearing because
+// well-formed IR defines every value before its first use.
+func (m *Machine) getFrame(fn *ir.Func) *frame {
+	var f *frame
+	if n := len(m.framePool); n > 0 {
+		f = m.framePool[n-1]
+		m.framePool = m.framePool[:n-1]
+	} else {
+		f = &frame{}
+	}
+	f.fn = fn
+	f.cur = nil
+	f.stackTop = 0
+	f.stackUsed = 0
+	if cap(f.regs) >= fn.NumSlots() {
+		f.regs = f.regs[:fn.NumSlots()]
+	} else {
+		f.regs = make([]uint64, fn.NumSlots())
+	}
+	return f
+}
+
+// RuntimeError is an execution fault with the simulated call stack.
+type RuntimeError struct {
+	Msg   string
+	Stack []trace.Frame
+}
+
+func (e *RuntimeError) Error() string {
+	s := "interp: " + e.Msg
+	for _, f := range e.Stack {
+		s += "\n\tat " + f.String()
+	}
+	return s
+}
+
+// New prepares a machine: lays out globals, seeds PM initializers as
+// durable content, and registers the standard builtins.
+func New(mod *ir.Module, opts Options) (*Machine, error) {
+	m := &Machine{
+		Mod:        mod,
+		Track:      pmem.NewTracker(),
+		opts:       opts,
+		cost:       opts.Cost,
+		builtins:   make(map[string]Builtin),
+		globalAddr: make(map[string]uint64),
+		heapNext:   pmem.HeapBase,
+		max:        opts.MaxSteps,
+	}
+	if m.cost == nil {
+		m.cost = pmem.DefaultCostModel()
+	}
+	if m.max == 0 {
+		m.max = 100_000_000
+	}
+	if opts.Memory != nil {
+		m.Mem = opts.Memory
+	} else {
+		m.Mem = pmem.NewMemory()
+	}
+	registerStdBuiltins(m)
+
+	// The interpreter addresses values by their dense Renumber slots;
+	// normalize any function mutated (or never numbered) since its last
+	// Renumber. Clean modules see no writes here, so independent machines
+	// may share them across goroutines.
+	for _, f := range mod.Funcs {
+		if !f.IsDecl() && f.NeedsRenumber() {
+			f.Renumber()
+		}
+	}
+
+	// Lay out globals: volatile ones from GlobalBase, persistent ones
+	// from PMBase (after one reserved allocator-metadata line).
+	volNext := uint64(pmem.GlobalBase)
+	pmNext := uint64(pmem.PMBase) + pmem.LineSize
+	for _, g := range mod.Globals {
+		size := uint64(g.Elem.Size())
+		align := uint64(g.Elem.Align())
+		if g.PM && align < pmem.LineSize {
+			// PM objects are cache-line aligned (as PMDK allocates),
+			// so a single object never shares a line with another.
+			align = pmem.LineSize
+		}
+		var addr uint64
+		if g.PM {
+			pmNext = alignUp(pmNext, align)
+			addr = pmNext
+			pmNext += size
+		} else {
+			volNext = alignUp(volNext, align)
+			addr = volNext
+			volNext += size
+		}
+		m.globalAddr[g.Name] = addr
+		if g.PM {
+			// Announce the persistent region to the trace (bug finders
+			// know registered pools; Trace-AA consumes these events).
+			m.emit(&trace.Event{Kind: trace.KindAlloc, Addr: addr, Size: int(size), Sym: g.Name})
+		}
+		if g.PM && opts.ResumePM {
+			// A restart: PM contents come from the supplied image.
+			continue
+		}
+		if len(g.Init) > 0 {
+			m.Mem.Write(addr, g.Init)
+		}
+		if g.PM {
+			// Pre-existing PM content is durable by definition.
+			m.Track.SeedDurable(addr, initImage(g))
+		}
+	}
+	m.pmNext = alignUp(pmNext, pmem.LineSize)
+	if opts.ResumePM {
+		// The allocator cursor survives in its reserved metadata line.
+		if cur := m.Mem.ReadUint(pmem.PMBase, 8); cur != 0 {
+			m.pmNext = cur
+		}
+	} else {
+		m.Mem.WriteUint(pmem.PMBase, 8, m.pmNext)
+	}
+	return m, nil
+}
+
+func initImage(g *ir.Global) []byte {
+	img := make([]byte, g.Elem.Size())
+	copy(img, g.Init)
+	return img
+}
+
+func alignUp(n, a uint64) uint64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// RegisterBuiltin installs (or overrides) an external function handler.
+func (m *Machine) RegisterBuiltin(name string, fn Builtin) { m.builtins[name] = fn }
+
+// GlobalAddr returns the simulated address of a global.
+func (m *Machine) GlobalAddr(name string) uint64 {
+	a, ok := m.globalAddr[name]
+	if !ok {
+		panic("interp: unknown global @" + name)
+	}
+	return a
+}
+
+// Run executes the named entry function with integer/pointer arguments and
+// returns its result. The end of the entry function is an implicit
+// durability point: like pmemcheck, every PM store must be durable when
+// the program exits.
+func (m *Machine) Run(entry string, args ...uint64) (uint64, error) {
+	fn := m.Mod.Func(entry)
+	if fn == nil {
+		return 0, fmt.Errorf("interp: no entry function @%s", entry)
+	}
+	if fn.IsDecl() {
+		return 0, fmt.Errorf("interp: entry @%s is a declaration", entry)
+	}
+	if len(args) != len(fn.Params) {
+		return 0, fmt.Errorf("interp: entry @%s takes %d arguments, got %d", entry, len(fn.Params), len(args))
+	}
+	ret, err := m.call(fn, args)
+	if err != nil {
+		return 0, err
+	}
+	// Implicit final durability point.
+	if err := m.checkpoint(nil); err != nil {
+		return 0, err
+	}
+	return ret, nil
+}
+
+// CrashImage builds a possible post-crash PM image: the durable bytes,
+// plus the pending stores chosen by keep (any subset may have been evicted
+// to PM before the crash), plus the allocator's reserved metadata line
+// (which the simulated hardware keeps consistent on its own). Pass the
+// image to a new Machine with Options{Memory: img, ResumePM: true} to run
+// recovery code against it.
+func (m *Machine) CrashImage(keep func(*pmem.TrackedStore) bool) *pmem.Memory {
+	if keep == nil {
+		keep = func(*pmem.TrackedStore) bool { return false }
+	}
+	img := m.Track.CrashImage(keep)
+	meta := make([]byte, pmem.LineSize)
+	m.Mem.Read(pmem.PMBase, meta)
+	img.Write(pmem.PMBase, meta)
+	return img
+}
+
+// SimTime returns the simulated nanoseconds elapsed so far.
+func (m *Machine) SimTime() float64 { return m.Clock.Nanoseconds() }
+
+// Steps returns the number of executed instructions.
+func (m *Machine) Steps() int64 { return m.steps }
+
+func (m *Machine) fault(format string, args ...any) error {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...), Stack: m.stack(nil)}
+}
+
+// stack builds the current call stack, innermost first. When in is
+// non-nil it is the active instruction of the top frame.
+func (m *Machine) stack(in *ir.Instr) []trace.Frame {
+	out := make([]trace.Frame, 0, len(m.frames))
+	for i := len(m.frames) - 1; i >= 0; i-- {
+		f := m.frames[i]
+		cur := f.cur
+		if i == len(m.frames)-1 && in != nil {
+			cur = in
+		}
+		fr := trace.Frame{Func: f.fn.Name}
+		if cur != nil {
+			fr.InstrID = cur.ID
+			fr.Loc = cur.Loc
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+func (m *Machine) emit(e *trace.Event) {
+	e.Seq = m.seq
+	m.seq++
+	if m.opts.Trace != nil {
+		m.opts.Trace.Events = append(m.opts.Trace.Events, e)
+	}
+}
+
+func (m *Machine) checkpoint(in *ir.Instr) error {
+	seq := m.seq
+	m.emit(&trace.Event{Kind: trace.KindCheckpoint, Stack: m.stack(in)})
+	m.Violations = append(m.Violations, m.Track.OnCheckpoint(seq)...)
+	m.checkpoints++
+	if m.opts.CrashAtCheckpoint > 0 && m.checkpoints == m.opts.CrashAtCheckpoint {
+		return ErrSimulatedCrash
+	}
+	return nil
+}
+
+// Checkpoints returns the number of durability points passed so far.
+func (m *Machine) Checkpoints() int { return m.checkpoints }
+
+func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
+	if len(m.frames) >= 10_000 {
+		return 0, m.fault("stack overflow calling @%s", fn.Name)
+	}
+	f := m.getFrame(fn)
+	if len(m.frames) == 0 {
+		f.stackTop = pmem.StackBase
+	} else {
+		f.stackTop = m.frames[len(m.frames)-1].stackLow()
+	}
+	copy(f.regs, args)
+	m.frames = append(m.frames, f)
+	defer func() {
+		m.frames = m.frames[:len(m.frames)-1]
+		m.framePool = append(m.framePool, f)
+	}()
+	m.Clock.Advance(m.cost.Call)
+
+	blk := fn.Entry()
+	for {
+		var next *ir.Block
+		for _, in := range blk.Instrs {
+			m.steps++
+			if m.steps > m.max {
+				return 0, m.fault("step limit exceeded (%d)", m.max)
+			}
+			f.cur = in
+			switch in.Op {
+			case ir.OpRet:
+				if len(in.Args) == 0 {
+					return 0, nil
+				}
+				return m.eval(f, in.Args[0]), nil
+			case ir.OpJmp:
+				next = in.Succs[0]
+			case ir.OpBr:
+				m.Clock.Advance(m.cost.ALUOp)
+				if m.eval(f, in.Args[0]) != 0 {
+					next = in.Succs[0]
+				} else {
+					next = in.Succs[1]
+				}
+			default:
+				if err := m.exec(f, in); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if next == nil {
+			return 0, m.fault("block ^%s in @%s fell through", blk.Name, fn.Name)
+		}
+		blk = next
+	}
+}
+
+// eval computes an operand's runtime value.
+func (m *Machine) eval(f *frame, v ir.Value) uint64 {
+	switch x := v.(type) {
+	case *ir.Instr:
+		return f.regs[x.Slot]
+	case *ir.Const:
+		return uint64(x.Val)
+	case *ir.Param:
+		return f.regs[x.Index]
+	case *ir.Global:
+		return m.globalAddr[x.Name]
+	default:
+		panic(fmt.Sprintf("interp: unknown operand kind %T in @%s", v, f.fn.Name))
+	}
+}
+
+func truncTo(ty ir.Type, v uint64) uint64 {
+	switch ty {
+	case ir.I1:
+		return v & 1
+	case ir.I8:
+		return v & 0xff
+	default:
+		return v
+	}
+}
+
+// exec runs one non-terminator instruction.
+func (m *Machine) exec(f *frame, in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpAlloca:
+		size := alignUp(uint64(in.AllocTy.Size()), 16)
+		addr := m.allocStack(size)
+		if addr == 0 {
+			return m.fault("stack overflow in alloca")
+		}
+		f.regs[in.Slot] = addr
+		m.Clock.Advance(m.cost.ALUOp)
+
+	case ir.OpLoad:
+		addr := m.eval(f, in.Args[0])
+		if err := m.checkAccess(addr, in.Ty.Size(), "load"); err != nil {
+			return err
+		}
+		f.regs[in.Slot] = truncTo(in.Ty, m.Mem.ReadUint(addr, int(in.Ty.Size())))
+		if pmem.IsPM(addr) {
+			m.Clock.Advance(m.cost.LoadPM)
+		} else {
+			m.Clock.Advance(m.cost.LoadDRAM)
+		}
+
+	case ir.OpStore, ir.OpNTStore:
+		val := m.eval(f, in.Args[0])
+		addr := m.eval(f, in.Args[1])
+		size := in.StoreTy.Size()
+		if err := m.checkAccess(addr, size, "store"); err != nil {
+			return err
+		}
+		m.Mem.WriteUint(addr, int(size), val)
+		if pmem.IsPM(addr) {
+			data := make([]byte, size)
+			m.Mem.Read(addr, data)
+			kind := trace.KindStore
+			if in.Op == ir.OpNTStore {
+				kind = trace.KindNTStore
+			}
+			seq := m.seq
+			m.emit(&trace.Event{Kind: kind, Addr: addr, Size: int(size), Stack: m.stack(in)})
+			if in.Op == ir.OpNTStore {
+				m.Track.OnNTStore(seq, addr, data)
+			} else {
+				m.Track.OnStore(seq, addr, data)
+			}
+			m.Clock.Advance(m.cost.StorePM)
+		} else {
+			m.Clock.Advance(m.cost.StoreDRAM)
+		}
+
+	case ir.OpPtrAdd:
+		base := m.eval(f, in.Args[0])
+		idx := m.eval(f, in.Args[1])
+		f.regs[in.Slot] = base + idx*uint64(in.Scale) + uint64(in.Disp)
+		m.Clock.Advance(m.cost.ALUOp)
+
+	case ir.OpCall:
+		args := make([]uint64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = m.eval(f, a)
+		}
+		var ret uint64
+		var err error
+		if in.Callee.IsDecl() {
+			b, ok := m.builtins[in.Callee.Name]
+			if !ok {
+				return m.fault("call to unregistered external @%s", in.Callee.Name)
+			}
+			ret, err = b(m, args)
+		} else {
+			ret, err = m.call(in.Callee, args)
+		}
+		if err != nil {
+			return err
+		}
+		if in.HasResult() {
+			f.regs[in.Slot] = ret
+		}
+
+	case ir.OpFlush:
+		addr := m.eval(f, in.Args[0])
+		m.Clock.Advance(m.cost.Flush)
+		if pmem.IsPM(addr) {
+			seq := m.seq
+			m.emit(&trace.Event{Kind: trace.KindFlush, FlushK: in.FlushK, Addr: addr, Stack: m.stack(in)})
+			moved := m.Track.OnFlush(seq, in.FlushK.Ordered(), addr)
+			if moved > 0 && in.FlushK.Ordered() {
+				// CLFLUSH commits immediately; CLWB/CLFLUSHOPT park the
+				// line in the write-pending queue and pay at the fence.
+				m.Clock.Advance(m.cost.FlushWriteback)
+			}
+		}
+		// Flushing volatile memory costs flush latency but has no
+		// durability effect — this is the waste the hoisting heuristic
+		// exists to avoid (§3.2).
+
+	case ir.OpFence:
+		seq := m.seq
+		m.emit(&trace.Event{Kind: trace.KindFence, FenceK: in.FenceK, Stack: m.stack(in)})
+		drained := m.Track.OnFence(seq)
+		m.Clock.Advance(m.cost.FenceBase + float64(drained)*m.cost.FenceDrainPerLine)
+
+	default:
+		switch {
+		case in.Op.IsBinary():
+			x := m.eval(f, in.Args[0])
+			y := m.eval(f, in.Args[1])
+			v, err := binOp(in.Op, x, y, in.Ty)
+			if err != nil {
+				return m.fault("%s", err)
+			}
+			f.regs[in.Slot] = truncTo(in.Ty, v)
+			m.Clock.Advance(m.cost.ALUOp)
+		case in.Op.IsCmp():
+			x := int64(m.eval(f, in.Args[0]))
+			y := int64(m.eval(f, in.Args[1]))
+			f.regs[in.Slot] = boolVal(cmpOp(in.Op, x, y))
+			m.Clock.Advance(m.cost.ALUOp)
+		case in.Op.IsCast():
+			v := m.eval(f, in.Args[0])
+			f.regs[in.Slot] = truncTo(in.Ty, v)
+			m.Clock.Advance(m.cost.ALUOp)
+		default:
+			return m.fault("cannot execute %s", ir.FormatInstr(in))
+		}
+	}
+	return nil
+}
+
+func (m *Machine) checkAccess(addr uint64, size int64, op string) error {
+	if pmem.RegionOf(addr) == pmem.RegionInvalid {
+		return m.fault("invalid %s of %d bytes at %#x", op, size, addr)
+	}
+	return nil
+}
+
+func binOp(op ir.Op, x, y uint64, ty ir.Type) (uint64, error) {
+	switch op {
+	case ir.OpAdd:
+		return x + y, nil
+	case ir.OpSub:
+		return x - y, nil
+	case ir.OpMul:
+		return x * y, nil
+	case ir.OpSDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return uint64(int64(x) / int64(y)), nil
+	case ir.OpSRem:
+		if y == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return uint64(int64(x) % int64(y)), nil
+	case ir.OpAnd:
+		return x & y, nil
+	case ir.OpOr:
+		return x | y, nil
+	case ir.OpXor:
+		return x ^ y, nil
+	case ir.OpShl:
+		return x << (y & 63), nil
+	case ir.OpAShr:
+		return uint64(int64(x) >> (y & 63)), nil
+	}
+	return 0, fmt.Errorf("bad binary op %s", op)
+}
+
+func cmpOp(op ir.Op, x, y int64) bool {
+	switch op {
+	case ir.OpEq:
+		return x == y
+	case ir.OpNe:
+		return x != y
+	case ir.OpLt:
+		return x < y
+	case ir.OpLe:
+		return x <= y
+	case ir.OpGt:
+		return x > y
+	case ir.OpGe:
+		return x >= y
+	}
+	panic("interp: bad comparison " + op.String())
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// allocStack carves size bytes from the downward-growing stack, returning
+// 0 on overflow. Stack storage is reclaimed per call frame; each frame's
+// stackTop was fixed at call time from its parent's watermark.
+func (m *Machine) allocStack(size uint64) uint64 {
+	f := m.frames[len(m.frames)-1]
+	top := f.stackTop - f.stackUsed
+	addr := (top - size) &^ 15
+	if addr < pmem.StackBase-pmem.StackMax || addr > top {
+		return 0 // exhausted (or wrapped below zero)
+	}
+	f.stackUsed = f.stackTop - addr
+	return addr
+}

@@ -1,0 +1,95 @@
+package ir
+
+// CloneFunc deep-copies fn into a new function named newName and registers
+// it in fn's module. The clone shares constants, globals and struct types
+// with the original (they are immutable at this level) but gets fresh
+// parameters, blocks and instructions. Instruction IDs are copied from the
+// originals so that trace locations recorded against the original resolve
+// to the corresponding instruction in the clone — this is what lets the
+// persistent subprogram transformation reuse bug locations inside cloned
+// bodies. Call Renumber before re-tracing a module containing clones.
+func CloneFunc(fn *Func, newName string) *Func {
+	params := make([]*Param, len(fn.Params))
+	valueMap := make(map[Value]Value)
+	for i, p := range fn.Params {
+		np := &Param{Name: p.Name, Ty: p.Ty, Index: p.Index}
+		params[i] = np
+		valueMap[p] = np
+	}
+	nf := NewFunc(newName, fn.Ret, params...)
+	nf.nextID = fn.nextID
+
+	blockMap := make(map[*Block]*Block, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		blockMap[b] = nf.AddBlock(b.Name)
+	}
+	// First pass: clone instructions so results exist for operand mapping.
+	// Bodies are in dominance order for straight-line refs, but operand
+	// resolution is done in a second pass to be robust to any def/use
+	// layout.
+	instrMap := make(map[*Instr]*Instr)
+	for _, b := range fn.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:      in.Op,
+				Name:    in.Name,
+				Ty:      in.Ty,
+				AllocTy: in.AllocTy,
+				StoreTy: in.StoreTy,
+				Scale:   in.Scale,
+				Disp:    in.Disp,
+				Callee:  in.Callee,
+				FlushK:  in.FlushK,
+				FenceK:  in.FenceK,
+				Loc:     in.Loc,
+				ID:      in.ID,
+			}
+			nb.Append(ni)
+			instrMap[in] = ni
+			if in.HasResult() {
+				valueMap[in] = ni
+			}
+		}
+	}
+	// Second pass: rewrite operands and successors.
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			ni := instrMap[in]
+			if len(in.Args) > 0 {
+				ni.Args = make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					if mapped, ok := valueMap[a]; ok {
+						ni.Args[i] = mapped
+					} else {
+						ni.Args[i] = a // constant or global
+					}
+				}
+			}
+			if len(in.Succs) > 0 {
+				ni.Succs = make([]*Block, len(in.Succs))
+				for i, s := range in.Succs {
+					ni.Succs[i] = blockMap[s]
+				}
+			}
+		}
+	}
+	if fn.Mod != nil {
+		fn.Mod.AddFunc(nf)
+	}
+	return nf
+}
+
+// CloneModule deep-copies an entire module by round-tripping through the
+// textual form. The parser renumbers every function in block order, which
+// matches Renumber's numbering on the source module, so instruction IDs —
+// and therefore trace locations — remain valid against the clone. The
+// fixer clones before mutating so callers keep the original for
+// before/after comparison.
+func CloneModule(m *Module) *Module {
+	nm, err := ParseModule(Print(m))
+	if err != nil {
+		panic("ir: CloneModule round-trip failed: " + err.Error())
+	}
+	return nm
+}

@@ -1,0 +1,144 @@
+package ir
+
+// Dominators computes the dominator sets of a function's blocks with the
+// classic iterative dataflow algorithm: dom(entry) = {entry}; for every
+// other block, dom(b) = {b} ∪ ⋂ dom(preds). The verifier uses it to check
+// that definitions dominate uses (the property the interpreter relies on
+// when it reads register slots without initialization).
+type Dominators struct {
+	fn    *Func
+	index map[*Block]int
+	// dom[i] is the set of block indices dominating block i, as a bitset.
+	dom []bitset
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// intersectWith intersects b with o in place and reports whether b changed.
+func (b bitset) intersectWith(o bitset) bool {
+	changed := false
+	for i := range b {
+		nv := b[i] & o[i]
+		if nv != b[i] {
+			b[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ComputeDominators analyzes fn's CFG.
+func ComputeDominators(fn *Func) *Dominators {
+	n := len(fn.Blocks)
+	d := &Dominators{fn: fn, index: make(map[*Block]int, n), dom: make([]bitset, n)}
+	for i, b := range fn.Blocks {
+		d.index[b] = i
+	}
+	preds := make([][]int, n)
+	for i, b := range fn.Blocks {
+		if term := b.Terminator(); term != nil {
+			for _, s := range term.Succs {
+				j := d.index[s]
+				preds[j] = append(preds[j], i)
+			}
+		}
+	}
+	for i := range d.dom {
+		d.dom[i] = newBitset(n)
+		if i == 0 {
+			d.dom[i].set(0)
+		} else {
+			d.dom[i].fill()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			nv := newBitset(n)
+			nv.fill()
+			if len(preds[i]) == 0 {
+				// Unreachable from the entry: keep "dominated by all"
+				// (vacuously true; such blocks never execute).
+				continue
+			}
+			for _, p := range preds[i] {
+				nv.intersectWith(d.dom[p])
+			}
+			nv.set(i)
+			// Sets only shrink, so intersecting with the recomputed set
+			// both updates and detects change.
+			if d.dom[i].intersectWith(nv) {
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b.
+func (d *Dominators) Dominates(a, b *Block) bool {
+	ia, ok := d.index[a]
+	if !ok {
+		return false
+	}
+	ib, ok := d.index[b]
+	if !ok {
+		return false
+	}
+	return d.dom[ib].has(ia)
+}
+
+// verifyDominance checks that every instruction-result operand is defined
+// in a position that dominates its use.
+func verifyDominance(f *Func) error {
+	doms := ComputeDominators(f)
+	// Position of each instruction within its block for same-block checks.
+	pos := make(map[*Instr]int)
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, a := range in.Args {
+				def, ok := a.(*Instr)
+				if !ok {
+					continue
+				}
+				db := def.Block()
+				switch {
+				case db == b:
+					if pos[def] >= i {
+						return &domError{f, in, def, "use precedes definition in the same block"}
+					}
+				case !doms.Dominates(db, b):
+					return &domError{f, in, def, "definition does not dominate use"}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type domError struct {
+	f        *Func
+	use, def *Instr
+	msg      string
+}
+
+func (e *domError) Error() string {
+	return "@" + e.f.Name + ": " + FormatInstr(e.use) + " uses %" + e.def.Name + ": " + e.msg
+}

@@ -1,0 +1,67 @@
+package ir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseModuleNeverPanics feeds the parser thousands of mutated
+// variants of a valid module: every input must either parse or return an
+// error — never panic. (The parser is fed artifact files from disk by the
+// CLI tools, so robustness matters.)
+func TestParseModuleNeverPanics(t *testing.T) {
+	base := Print(buildSample(t))
+	rng := rand.New(rand.NewSource(42))
+	mutate := func(s string) string {
+		b := []byte(s)
+		if len(b) == 0 {
+			return s
+		}
+		switch rng.Intn(4) {
+		case 0: // flip a byte
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		case 1: // delete a span
+			i := rng.Intn(len(b))
+			j := i + rng.Intn(len(b)-i)
+			b = append(b[:i], b[j:]...)
+		case 2: // duplicate a span
+			i := rng.Intn(len(b))
+			j := i + rng.Intn(min(40, len(b)-i))
+			b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+		case 3: // swap two lines
+			lines := strings.Split(string(b), "\n")
+			if len(lines) > 2 {
+				i, j := rng.Intn(len(lines)), rng.Intn(len(lines))
+				lines[i], lines[j] = lines[j], lines[i]
+			}
+			return strings.Join(lines, "\n")
+		}
+		return string(b)
+	}
+	for i := 0; i < 3000; i++ {
+		src := base
+		for k := 0; k <= rng.Intn(3); k++ {
+			src = mutate(src)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated input: %v\n----\n%s", r, src)
+				}
+			}()
+			if m, err := ParseModule(src); err == nil {
+				// A successfully parsed mutant must still verify or at
+				// least print without panicking.
+				_ = Print(m)
+			}
+		}()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

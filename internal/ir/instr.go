@@ -1,0 +1,239 @@
+package ir
+
+import "fmt"
+
+// Op enumerates the instruction opcodes.
+type Op int
+
+// The instruction opcodes.
+const (
+	OpInvalid Op = iota
+
+	// Memory.
+	OpAlloca  // %p = alloca T            (stack slot, volatile)
+	OpLoad    // %v = load T, ptr %p
+	OpStore   // store T %v, ptr %p
+	OpNTStore // ntstore T %v, ptr %p     (non-temporal: bypasses cache, weakly ordered)
+	OpPtrAdd  // %q = ptradd ptr %p, %i * scale + disp
+
+	// Integer arithmetic and logic (i8/i64).
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpAShr
+
+	// Comparisons (result i1).
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Conversions.
+	OpZExt     // widen integer (i1/i8 -> i64)
+	OpTrunc    // narrow integer (i64 -> i8/i1)
+	OpPtrToInt // ptr -> i64
+	OpIntToPtr // i64 -> ptr
+
+	// Control flow.
+	OpCall // %v = call @f(args...)   (direct calls only)
+	OpBr   // br i1 %c, ^then, ^else
+	OpJmp  // jmp ^dest
+	OpRet  // ret [T %v]
+
+	// Persistence primitives.
+	OpFlush // flush clwb|clflushopt|clflush, ptr %p
+	OpFence // fence sfence|mfence
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpInvalid:  "invalid",
+	OpAlloca:   "alloca",
+	OpLoad:     "load",
+	OpStore:    "store",
+	OpNTStore:  "ntstore",
+	OpPtrAdd:   "ptradd",
+	OpAdd:      "add",
+	OpSub:      "sub",
+	OpMul:      "mul",
+	OpSDiv:     "sdiv",
+	OpSRem:     "srem",
+	OpAnd:      "and",
+	OpOr:       "or",
+	OpXor:      "xor",
+	OpShl:      "shl",
+	OpAShr:     "ashr",
+	OpEq:       "eq",
+	OpNe:       "ne",
+	OpLt:       "lt",
+	OpLe:       "le",
+	OpGt:       "gt",
+	OpGe:       "ge",
+	OpZExt:     "zext",
+	OpTrunc:    "trunc",
+	OpPtrToInt: "ptrtoint",
+	OpIntToPtr: "inttoptr",
+	OpCall:     "call",
+	OpBr:       "br",
+	OpJmp:      "jmp",
+	OpRet:      "ret",
+	OpFlush:    "flush",
+	OpFence:    "fence",
+}
+
+func (op Op) String() string {
+	if op <= OpInvalid || op >= numOps {
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+	return opNames[op]
+}
+
+// IsBinary reports whether op is a two-operand arithmetic/logic operation.
+func (op Op) IsBinary() bool { return op >= OpAdd && op <= OpAShr }
+
+// IsCmp reports whether op is a comparison.
+func (op Op) IsCmp() bool { return op >= OpEq && op <= OpGe }
+
+// IsCast reports whether op is a conversion.
+func (op Op) IsCast() bool { return op >= OpZExt && op <= OpIntToPtr }
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool { return op == OpBr || op == OpJmp || op == OpRet }
+
+// FlushKind selects the cache-flush instruction flavour. CLFLUSH is
+// strongly ordered with respect to other memory operations; CLFLUSHOPT and
+// CLWB are weakly ordered and require a subsequent fence for durability
+// ordering. CLWB retains the line in cache (preferred for performance).
+type FlushKind int
+
+// The flush flavours.
+const (
+	CLWB FlushKind = iota
+	CLFLUSHOPT
+	CLFLUSH
+)
+
+func (k FlushKind) String() string {
+	switch k {
+	case CLWB:
+		return "clwb"
+	case CLFLUSHOPT:
+		return "clflushopt"
+	case CLFLUSH:
+		return "clflush"
+	}
+	return fmt.Sprintf("flushkind(%d)", int(k))
+}
+
+// Ordered reports whether the flush flavour is strongly ordered (CLFLUSH)
+// and hence does not require a trailing fence for durability ordering.
+func (k FlushKind) Ordered() bool { return k == CLFLUSH }
+
+// FenceKind selects the fence instruction flavour. SFENCE orders stores
+// and weakly-ordered flushes; MFENCE additionally orders loads.
+type FenceKind int
+
+// The fence flavours.
+const (
+	SFENCE FenceKind = iota
+	MFENCE
+)
+
+func (k FenceKind) String() string {
+	switch k {
+	case SFENCE:
+		return "sfence"
+	case MFENCE:
+		return "mfence"
+	}
+	return fmt.Sprintf("fencekind(%d)", int(k))
+}
+
+// Loc is a source location in the front-end language, carried through
+// lowering so that traces and fixes can be reported in source terms.
+type Loc struct {
+	File string
+	Line int
+}
+
+// IsZero reports whether the location is unset.
+func (l Loc) IsZero() bool { return l.File == "" && l.Line == 0 }
+
+func (l Loc) String() string {
+	if l.IsZero() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d", l.File, l.Line)
+}
+
+// Instr is a single IR instruction. A uniform representation (opcode plus
+// operand slice) keeps cloning, printing, parsing and interpretation
+// simple; opcode-specific fields are only meaningful for their opcode.
+type Instr struct {
+	Op   Op
+	Name string // result name without '%'; empty for void results
+	Ty   Type   // result type; for load, the loaded type; void if none
+
+	Args []Value // operands
+
+	// Opcode-specific attributes.
+	AllocTy     Type      // OpAlloca: layout of the allocated object
+	StoreTy     Type      // OpStore/OpNTStore: type of the stored value
+	Scale, Disp int64     // OpPtrAdd: %q = base + index*Scale + Disp
+	Callee      *Func     // OpCall
+	Succs       []*Block  // OpBr (then, else) / OpJmp (dest)
+	FlushK      FlushKind // OpFlush
+	FenceK      FenceKind // OpFence
+
+	// Loc is the source location the instruction was lowered from.
+	Loc Loc
+
+	// ID is a stable per-function instruction number assigned by
+	// (*Func).Renumber; traces refer to instructions by (function, ID).
+	ID int
+	// Slot is the dense register-file index of the result, assigned by
+	// Renumber (-1 for void results).
+	Slot int
+
+	blk *Block
+}
+
+// Type implements Value. Void-result instructions must not be used as
+// operands; the verifier enforces this.
+func (in *Instr) Type() Type { return in.Ty }
+
+// OperandString implements Value.
+func (in *Instr) OperandString() string { return "%" + in.Name }
+
+// Block returns the containing basic block (nil if detached).
+func (in *Instr) Block() *Block { return in.blk }
+
+// HasResult reports whether the instruction produces a value.
+func (in *Instr) HasResult() bool {
+	return in.Ty != nil && in.Ty != Void
+}
+
+// StorePtr returns the address operand of a store-like instruction.
+func (in *Instr) StorePtr() Value {
+	if in.Op != OpStore && in.Op != OpNTStore {
+		panic("ir: StorePtr on " + in.Op.String())
+	}
+	return in.Args[1]
+}
+
+// StoreVal returns the value operand of a store-like instruction.
+func (in *Instr) StoreVal() Value {
+	if in.Op != OpStore && in.Op != OpNTStore {
+		panic("ir: StoreVal on " + in.Op.String())
+	}
+	return in.Args[0]
+}

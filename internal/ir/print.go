@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in its textual form. The output parses back via
+// ParseModule (round-trip property-tested).
+func Print(m *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	for _, st := range m.Structs {
+		b.WriteString("\n")
+		b.WriteString(typeDefString(st))
+		b.WriteString("\n")
+	}
+	if len(m.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for _, g := range m.Globals {
+		if g.PM {
+			b.WriteString("pm ")
+		}
+		fmt.Fprintf(&b, "global @%s: %s", g.Name, g.Elem)
+		if len(g.Init) > 0 {
+			fmt.Fprintf(&b, " = x\"%x\"", g.Init)
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		b.WriteString("\n")
+		if f.IsDecl() {
+			fmt.Fprintf(&b, "declare %s\n", f.Sig())
+			continue
+		}
+		fmt.Fprintf(&b, "func %s {\n", f.Sig())
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, in := range blk.Instrs {
+				b.WriteString("  ")
+				b.WriteString(FormatInstr(in))
+				b.WriteString("\n")
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// FormatInstr renders one instruction (without indentation or newline).
+func FormatInstr(in *Instr) string {
+	var b strings.Builder
+	if in.HasResult() {
+		fmt.Fprintf(&b, "%%%s = ", in.Name)
+	}
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.AllocTy)
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s", in.Ty, operand(in.Args[0]))
+	case OpStore:
+		fmt.Fprintf(&b, "store %s %s, %s", in.StoreTy, in.Args[0].OperandString(), operand(in.Args[1]))
+	case OpNTStore:
+		fmt.Fprintf(&b, "ntstore %s %s, %s", in.StoreTy, in.Args[0].OperandString(), operand(in.Args[1]))
+	case OpPtrAdd:
+		fmt.Fprintf(&b, "ptradd %s, %s, %d, %d", operand(in.Args[0]), operand(in.Args[1]), in.Scale, in.Disp)
+	case OpCall:
+		fmt.Fprintf(&b, "call @%s(", in.Callee.Name)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(operand(a))
+		}
+		b.WriteString(")")
+	case OpBr:
+		fmt.Fprintf(&b, "br %s, ^%s, ^%s", operand(in.Args[0]), in.Succs[0].Name, in.Succs[1].Name)
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp ^%s", in.Succs[0].Name)
+	case OpRet:
+		if len(in.Args) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s", operand(in.Args[0]))
+		}
+	case OpFlush:
+		fmt.Fprintf(&b, "flush %s, %s", in.FlushK, operand(in.Args[0]))
+	case OpFence:
+		fmt.Fprintf(&b, "fence %s", in.FenceK)
+	default:
+		switch {
+		case in.Op.IsBinary(), in.Op.IsCmp():
+			// Comparisons print the operand type (the result is i1).
+			ty := in.Ty
+			if in.Op.IsCmp() {
+				ty = in.Args[0].Type()
+			}
+			fmt.Fprintf(&b, "%s %s %s, %s", in.Op, ty, in.Args[0].OperandString(), in.Args[1].OperandString())
+		case in.Op.IsCast():
+			fmt.Fprintf(&b, "%s %s to %s", in.Op, operand(in.Args[0]), in.Ty)
+		default:
+			fmt.Fprintf(&b, "<%s?>", in.Op)
+		}
+	}
+	if !in.Loc.IsZero() {
+		fmt.Fprintf(&b, " !%s:%d", in.Loc.File, in.Loc.Line)
+	}
+	return b.String()
+}
+
+// operand renders a typed operand, e.g. "i64 %x", "ptr @g", "i64 42".
+func operand(v Value) string {
+	return v.Type().String() + " " + v.OperandString()
+}

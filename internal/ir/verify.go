@@ -1,0 +1,250 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks module well-formedness: every block terminated exactly at
+// its end, operand types consistent, operands defined in the same function,
+// call signatures matched, and branch targets within the function. The fix
+// pass runs it after every transformation ("do no harm" starts with not
+// corrupting the IR).
+func Verify(m *Module) error {
+	var errs []error
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyFunc(f *Func) error {
+	ctx := func(b *Block, in *Instr, format string, args ...any) error {
+		return fmt.Errorf("@%s/^%s: %s: %s", f.Name, b.Name, FormatInstr(in), fmt.Sprintf(format, args...))
+	}
+	// Collect all values defined in this function for scoping checks.
+	defined := map[Value]bool{}
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				defined[in] = true
+			}
+		}
+	}
+	seenNames := map[string]bool{}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("@%s/^%s: empty block", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return ctx(b, in, "block does not end in a terminator")
+				}
+				return ctx(b, in, "terminator in the middle of a block")
+			}
+			if in.HasResult() {
+				if in.Name == "" {
+					return ctx(b, in, "unnamed result")
+				}
+				if seenNames[in.Name] {
+					return ctx(b, in, "duplicate result name %%%s", in.Name)
+				}
+				seenNames[in.Name] = true
+			}
+			for _, a := range in.Args {
+				switch v := a.(type) {
+				case *Const, *Global:
+					// Always fine.
+				case *Param, *Instr:
+					if !defined[v] {
+						return ctx(b, in, "operand %s defined outside @%s", a.OperandString(), f.Name)
+					}
+				default:
+					return ctx(b, in, "unknown operand kind %T", a)
+				}
+				if !IsScalar(a.Type()) {
+					return ctx(b, in, "operand %s has non-scalar type %s", a.OperandString(), a.Type())
+				}
+			}
+			if err := verifyInstr(f, in); err != nil {
+				return ctx(b, in, "%s", err)
+			}
+		}
+	}
+	return verifyDominance(f)
+}
+
+func verifyInstr(f *Func, in *Instr) error {
+	want := func(n int) error {
+		if len(in.Args) != n {
+			return fmt.Errorf("want %d operands, have %d", n, len(in.Args))
+		}
+		return nil
+	}
+	ptrArg := func(i int) error {
+		if !IsPtr(in.Args[i].Type()) {
+			return fmt.Errorf("operand %d must be ptr, is %s", i, in.Args[i].Type())
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpAlloca:
+		if in.AllocTy == nil || in.AllocTy.Size() <= 0 {
+			return fmt.Errorf("alloca of zero-size type")
+		}
+		return want(0)
+	case OpLoad:
+		if err := want(1); err != nil {
+			return err
+		}
+		if !IsScalar(in.Ty) {
+			return fmt.Errorf("load of non-scalar type %s", in.Ty)
+		}
+		return ptrArg(0)
+	case OpStore, OpNTStore:
+		if err := want(2); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), in.StoreTy) {
+			return fmt.Errorf("stored value type %s != store type %s", in.Args[0].Type(), in.StoreTy)
+		}
+		return ptrArg(1)
+	case OpPtrAdd:
+		if err := want(2); err != nil {
+			return err
+		}
+		if err := ptrArg(0); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[1].Type(), I64) {
+			return fmt.Errorf("ptradd index must be i64")
+		}
+		return nil
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("call without callee")
+		}
+		if f.Mod != nil && f.Mod.Func(in.Callee.Name) != in.Callee {
+			return fmt.Errorf("callee @%s not in module", in.Callee.Name)
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("call to %s with %d args", in.Callee.Sig(), len(in.Args))
+		}
+		for i, a := range in.Args {
+			if !TypeEqual(a.Type(), in.Callee.Params[i].Ty) {
+				return fmt.Errorf("arg %d: have %s, want %s", i, a.Type(), in.Callee.Params[i].Ty)
+			}
+		}
+		if !TypeEqual(in.Ty, in.Callee.Ret) {
+			return fmt.Errorf("call result type %s != return type %s", in.Ty, in.Callee.Ret)
+		}
+		return nil
+	case OpBr:
+		if err := want(1); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), I1) {
+			return fmt.Errorf("branch condition must be i1")
+		}
+		return checkSuccs(f, in, 2)
+	case OpJmp:
+		if err := want(0); err != nil {
+			return err
+		}
+		return checkSuccs(f, in, 1)
+	case OpRet:
+		if TypeEqual(f.Ret, Void) {
+			if len(in.Args) != 0 {
+				return fmt.Errorf("ret with value in void function")
+			}
+			return nil
+		}
+		if err := want(1); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), f.Ret) {
+			return fmt.Errorf("ret %s from function returning %s", in.Args[0].Type(), f.Ret)
+		}
+		return nil
+	case OpFlush:
+		if err := want(1); err != nil {
+			return err
+		}
+		return ptrArg(0)
+	case OpFence:
+		return want(0)
+	default:
+		switch {
+		case in.Op.IsBinary():
+			if err := want(2); err != nil {
+				return err
+			}
+			if !IsInt(in.Ty) {
+				return fmt.Errorf("binary op on non-integer type %s", in.Ty)
+			}
+			for i := range in.Args {
+				if !TypeEqual(in.Args[i].Type(), in.Ty) {
+					return fmt.Errorf("operand %d type %s != result type %s", i, in.Args[i].Type(), in.Ty)
+				}
+			}
+			return nil
+		case in.Op.IsCmp():
+			if err := want(2); err != nil {
+				return err
+			}
+			if !TypeEqual(in.Ty, I1) {
+				return fmt.Errorf("comparison result must be i1")
+			}
+			if !TypeEqual(in.Args[0].Type(), in.Args[1].Type()) {
+				return fmt.Errorf("comparison of mismatched types %s and %s", in.Args[0].Type(), in.Args[1].Type())
+			}
+			return nil
+		case in.Op.IsCast():
+			if err := want(1); err != nil {
+				return err
+			}
+			from, to := in.Args[0].Type(), in.Ty
+			switch in.Op {
+			case OpZExt, OpTrunc:
+				if !IsInt(from) || !IsInt(to) {
+					return fmt.Errorf("integer cast between %s and %s", from, to)
+				}
+			case OpPtrToInt:
+				if !IsPtr(from) || !TypeEqual(to, I64) {
+					return fmt.Errorf("ptrtoint between %s and %s", from, to)
+				}
+			case OpIntToPtr:
+				if !TypeEqual(from, I64) || !IsPtr(to) {
+					return fmt.Errorf("inttoptr between %s and %s", from, to)
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("unknown opcode %s", in.Op)
+	}
+}
+
+func checkSuccs(f *Func, in *Instr, n int) error {
+	if len(in.Succs) != n {
+		return fmt.Errorf("want %d successors, have %d", n, len(in.Succs))
+	}
+	for _, s := range in.Succs {
+		if s == nil {
+			return fmt.Errorf("nil successor")
+		}
+		if s.fn != f {
+			return fmt.Errorf("successor ^%s in another function", s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package lang
+
+// The AST. Every node carries the 1-based source line for IR debug
+// locations and error messages.
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Structs []*StructDecl
+	Consts  []*ConstDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// TypeRef is an unresolved type spelling: a base name plus pointer depth
+// and optional array length ([N], globals and locals only).
+type TypeRef struct {
+	Name     string // "int", "byte", "bool", "void", or a struct name
+	Stars    int
+	ArrayLen int64 // -1 when not an array
+	Line     int
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name   string
+	Fields []StructField
+	Line   int
+}
+
+// StructField is one member.
+type StructField struct {
+	Name string
+	Type TypeRef
+	Line int
+}
+
+// ConstDecl declares a module-level integer constant.
+type ConstDecl struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// GlobalDecl declares a module-level variable, possibly persistent.
+type GlobalDecl struct {
+	Name string
+	Type TypeRef
+	PM   bool
+	// Init is the optional initializer (integer constant or string
+	// literal for byte arrays).
+	Init Expr
+	Line int
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Ret    TypeRef
+	Params []ParamDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// ParamDecl is one parameter.
+type ParamDecl struct {
+	Name string
+	Type TypeRef
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	Name string
+	Type TypeRef
+	Init Expr // optional
+	Line int
+}
+
+// AssignStmt is lhs = rhs (or lhs op= rhs).
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	// Op is "" for plain assignment, else the compound operator ("+",
+	// "-", ...).
+	Op   string
+	Line int
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if (cond) then [else].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // optional
+	Line int
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// ForStmt is for (init; cond; post) body; all three headers optional.
+type ForStmt struct {
+	Init Stmt // DeclStmt, AssignStmt or ExprStmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+	Line int
+}
+
+// SwitchStmt is switch (x) { case v, v: ... default: ... } with pmc
+// semantics: no fallthrough (every case body exits the switch), constant
+// case labels, and break allowed inside bodies.
+type SwitchStmt struct {
+	X       Expr
+	Cases   []SwitchCase
+	Default []Stmt
+	Line    int
+}
+
+// SwitchCase is one labeled arm.
+type SwitchCase struct {
+	Vals []Expr
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt returns, optionally with a value.
+type ReturnStmt struct {
+	X    Expr // optional
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (s *BlockStmt) stmtLine() int    { return s.Line }
+func (s *DeclStmt) stmtLine() int     { return s.Line }
+func (s *AssignStmt) stmtLine() int   { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *SwitchStmt) stmtLine() int   { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	Val  int64
+	Line int
+}
+
+// StrLit is a string literal (lowered to a NUL-terminated global byte
+// array; its value is a byte*).
+type StrLit struct {
+	Val  string
+	Line int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Val  bool
+	Line int
+}
+
+// NullLit is the null pointer.
+type NullLit struct{ Line int }
+
+// Ident references a variable or parameter.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr is -x, !x, ~x, *p, &lv.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is x op y with C semantics (&& and || short-circuit).
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// CallExpr calls a named function (direct calls only, as in the IR).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// IndexExpr is a[i] on arrays and pointers.
+type IndexExpr struct {
+	X, I Expr
+	Line int
+}
+
+// MemberExpr is s.f or p->f.
+type MemberExpr struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Line  int
+}
+
+// CastExpr is (T)x.
+type CastExpr struct {
+	To   TypeRef
+	X    Expr
+	Line int
+}
+
+// SizeOfExpr is sizeof(T).
+type SizeOfExpr struct {
+	Of   TypeRef
+	Line int
+}
+
+func (e *IntLit) exprLine() int     { return e.Line }
+func (e *StrLit) exprLine() int     { return e.Line }
+func (e *BoolLit) exprLine() int    { return e.Line }
+func (e *NullLit) exprLine() int    { return e.Line }
+func (e *Ident) exprLine() int      { return e.Line }
+func (e *UnaryExpr) exprLine() int  { return e.Line }
+func (e *BinaryExpr) exprLine() int { return e.Line }
+func (e *CallExpr) exprLine() int   { return e.Line }
+func (e *IndexExpr) exprLine() int  { return e.Line }
+func (e *MemberExpr) exprLine() int { return e.Line }
+func (e *CastExpr) exprLine() int   { return e.Line }
+func (e *SizeOfExpr) exprLine() int { return e.Line }

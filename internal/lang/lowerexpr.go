@@ -1,0 +1,528 @@
+package lang
+
+import (
+	"hippocrates/internal/ir"
+)
+
+// flushIntrinsics maps intrinsic names to flush kinds.
+var flushIntrinsics = map[string]ir.FlushKind{
+	"clwb":       ir.CLWB,
+	"clflushopt": ir.CLFLUSHOPT,
+	"clflush":    ir.CLFLUSH,
+}
+
+// fenceIntrinsics maps intrinsic names to fence kinds.
+var fenceIntrinsics = map[string]ir.FenceKind{
+	"sfence": ir.SFENCE,
+	"mfence": ir.MFENCE,
+}
+
+// valueOrVoid evaluates an expression that may be a void call.
+func (lo *lowerer) valueOrVoid(e Expr) (ir.Value, *Type, error) {
+	if call, ok := e.(*CallExpr); ok {
+		return lo.call(call, true)
+	}
+	return lo.value(e)
+}
+
+// value evaluates an expression to a scalar value.
+func (lo *lowerer) value(e Expr) (ir.Value, *Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return ir.ConstInt(x.Val), tyInt, nil
+	case *BoolLit:
+		return ir.ConstBool(x.Val), tyBool, nil
+	case *NullLit:
+		return ir.Null(), ptrTo(tyVoid), nil
+	case *StrLit:
+		return lo.c.internString(x.Val), ptrTo(tyByte), nil
+	case *SizeOfExpr:
+		ty, err := lo.c.resolveType(x.Of)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ir.ConstInt(ty.Size()), tyInt, nil
+	case *Ident:
+		// Locals and globals shadow module constants.
+		if lo.lookup(x.Name) == nil {
+			if _, isGlobal := lo.c.globals[x.Name]; !isGlobal {
+				if v, ok := lo.c.consts[x.Name]; ok {
+					return ir.ConstInt(v), tyInt, nil
+				}
+			}
+		}
+		addr, ty, err := lo.lvalue(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.loadOrDecay(addr, ty, x.Line)
+	case *UnaryExpr:
+		return lo.unary(x)
+	case *BinaryExpr:
+		return lo.binary(x)
+	case *CallExpr:
+		v, vt, err := lo.call(x, false)
+		if err == nil && vt.Kind == TVoid {
+			return nil, nil, lo.errf(x.Line, "void call %q used as a value", x.Name)
+		}
+		return v, vt, err
+	case *IndexExpr, *MemberExpr:
+		addr, ty, err := lo.lvalue(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.loadOrDecay(addr, ty, e.exprLine())
+	case *CastExpr:
+		return lo.cast(x)
+	}
+	return nil, nil, lo.errf(e.exprLine(), "unhandled expression %T", e)
+}
+
+// loadOrDecay loads a scalar lvalue, or decays an array to a pointer to
+// its first element.
+func (lo *lowerer) loadOrDecay(addr ir.Value, ty *Type, line int) (ir.Value, *Type, error) {
+	switch {
+	case ty.IsScalar():
+		return lo.b.Load(ty.IR(), addr), ty, nil
+	case ty.Kind == TArray:
+		return addr, ptrTo(ty.Elem), nil
+	default:
+		return nil, nil, lo.errf(line, "value of aggregate type %s is not usable directly", ty)
+	}
+}
+
+// lvalue evaluates an expression to an address.
+func (lo *lowerer) lvalue(e Expr) (ir.Value, *Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if l := lo.lookup(x.Name); l != nil {
+			return l.addr, l.ty, nil
+		}
+		if g, ok := lo.c.globals[x.Name]; ok {
+			return g.g, g.ty, nil
+		}
+		if _, ok := lo.c.consts[x.Name]; ok {
+			return nil, nil, lo.errf(x.Line, "constant %q is not assignable", x.Name)
+		}
+		return nil, nil, lo.errf(x.Line, "undefined variable %q", x.Name)
+	case *UnaryExpr:
+		if x.Op != "*" {
+			return nil, nil, lo.errf(x.Line, "expression is not assignable")
+		}
+		v, vt, err := lo.value(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != TPtr || vt.Elem.Kind == TVoid {
+			return nil, nil, lo.errf(x.Line, "cannot dereference %s", vt)
+		}
+		return v, vt.Elem, nil
+	case *IndexExpr:
+		base, ety, err := lo.indexBase(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		iv, ity, err := lo.value(x.I)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ity.IsInteger() {
+			return nil, nil, lo.errf(x.Line, "index must be an integer, not %s", ity)
+		}
+		idx, err := lo.convert(iv, ity, tyInt, x.Line)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.b.PtrAdd(base, idx, ety.Size(), 0), ety, nil
+	case *MemberExpr:
+		var base ir.Value
+		var sty *Type
+		if x.Arrow {
+			v, vt, err := lo.value(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if vt.Kind != TPtr || vt.Elem.Kind != TStruct {
+				return nil, nil, lo.errf(x.Line, "-> on non-struct-pointer %s", vt)
+			}
+			base, sty = v, vt.Elem
+		} else {
+			addr, at, err := lo.lvalue(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if at.Kind != TStruct {
+				return nil, nil, lo.errf(x.Line, ". on non-struct %s", at)
+			}
+			base, sty = addr, at
+		}
+		f := sty.Struct.FieldByName(x.Name)
+		if f == nil {
+			return nil, nil, lo.errf(x.Line, "struct %s has no field %q", sty.Struct.Name, x.Name)
+		}
+		fieldIdx := 0
+		for i := range sty.Struct.Fields {
+			if sty.Struct.Fields[i].Name == x.Name {
+				fieldIdx = i
+			}
+		}
+		fty := lo.c.fieldTypes[sty.Struct.Name][fieldIdx]
+		return lo.b.PtrAdd(base, ir.ConstInt(0), 0, f.Offset), fty, nil
+	}
+	return nil, nil, lo.errf(e.exprLine(), "expression is not assignable")
+}
+
+// indexBase resolves the base of a[i]: an array lvalue (whose address is
+// the element base) or a pointer value.
+func (lo *lowerer) indexBase(x *IndexExpr) (ir.Value, *Type, error) {
+	// Try the array-lvalue shape first for direct names/members.
+	switch x.X.(type) {
+	case *Ident, *MemberExpr, *IndexExpr:
+		if addr, ty, err := lo.lvalue(x.X); err == nil {
+			switch ty.Kind {
+			case TArray:
+				return addr, ty.Elem, nil
+			case TPtr:
+				if ty.Elem.Kind == TVoid {
+					return nil, nil, lo.errf(x.Line, "cannot index a null/void pointer")
+				}
+				return lo.b.Load(ir.Ptr, addr), ty.Elem, nil
+			}
+			return nil, nil, lo.errf(x.Line, "cannot index %s", ty)
+		}
+	}
+	v, vt, err := lo.value(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	if vt.Kind != TPtr || vt.Elem.Kind == TVoid {
+		return nil, nil, lo.errf(x.Line, "cannot index %s", vt)
+	}
+	return v, vt.Elem, nil
+}
+
+func (lo *lowerer) unary(x *UnaryExpr) (ir.Value, *Type, error) {
+	switch x.Op {
+	case "&":
+		addr, ty, err := lo.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ty.Kind == TArray {
+			return addr, ptrTo(ty.Elem), nil
+		}
+		return addr, ptrTo(ty), nil
+	case "*":
+		addr, ty, err := lo.lvalue(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.loadOrDecay(addr, ty, x.Line)
+	}
+	v, vt, err := lo.value(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch x.Op {
+	case "-":
+		if !vt.IsInteger() {
+			return nil, nil, lo.errf(x.Line, "unary - on %s", vt)
+		}
+		return lo.b.Bin(ir.OpSub, vt.IR(), &ir.Const{Ty: vt.IR(), Val: 0}, v), vt, nil
+	case "~":
+		if !vt.IsInteger() {
+			return nil, nil, lo.errf(x.Line, "unary ~ on %s", vt)
+		}
+		return lo.b.Bin(ir.OpXor, vt.IR(), v, &ir.Const{Ty: vt.IR(), Val: -1}), vt, nil
+	case "!":
+		b, err := lo.truthyValue(v, vt, x.Line)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.b.Bin(ir.OpXor, ir.I1, b, ir.ConstBool(true)), tyBool, nil
+	}
+	return nil, nil, lo.errf(x.Line, "unhandled unary operator %q", x.Op)
+}
+
+func (lo *lowerer) binary(x *BinaryExpr) (ir.Value, *Type, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		return lo.shortCircuit(x)
+	}
+	xv, xt, err := lo.value(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	yv, yt, err := lo.value(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lo.binaryValues(x.Op, xv, xt, yv, yt, x.Line)
+}
+
+var cmpOps = map[string]ir.Op{
+	"==": ir.OpEq, "!=": ir.OpNe, "<": ir.OpLt, "<=": ir.OpLe, ">": ir.OpGt, ">=": ir.OpGe,
+}
+
+var intOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+}
+
+func (lo *lowerer) binaryValues(op string, xv ir.Value, xt *Type, yv ir.Value, yt *Type, line int) (ir.Value, *Type, error) {
+	if irOp, ok := cmpOps[op]; ok {
+		// Comparisons: integers (promoted), pointers, or bools.
+		switch {
+		case xt.IsInteger() && yt.IsInteger():
+			xv64, _ := lo.promote(xv, xt)
+			yv64, _ := lo.promote(yv, yt)
+			return lo.b.Cmp(irOp, xv64, yv64), tyBool, nil
+		case xt.Kind == TPtr && yt.Kind == TPtr:
+			return lo.b.Cmp(irOp, xv, yv), tyBool, nil
+		case xt.Kind == TBool && yt.Kind == TBool && (op == "==" || op == "!="):
+			return lo.b.Cmp(irOp, xv, yv), tyBool, nil
+		default:
+			return nil, nil, lo.errf(line, "cannot compare %s and %s", xt, yt)
+		}
+	}
+	irOp, ok := intOps[op]
+	if !ok {
+		return nil, nil, lo.errf(line, "unhandled operator %q", op)
+	}
+	// Pointer arithmetic.
+	if xt.Kind == TPtr || yt.Kind == TPtr {
+		switch {
+		case op == "+" && xt.Kind == TPtr && yt.IsInteger():
+			return lo.ptrAdd(xv, xt, yv, yt, 1, line)
+		case op == "+" && yt.Kind == TPtr && xt.IsInteger():
+			return lo.ptrAdd(yv, yt, xv, xt, 1, line)
+		case op == "-" && xt.Kind == TPtr && yt.IsInteger():
+			return lo.ptrAdd(xv, xt, yv, yt, -1, line)
+		case op == "-" && xt.Kind == TPtr && yt.Kind == TPtr:
+			if !xt.Elem.equal(yt.Elem) {
+				return nil, nil, lo.errf(line, "pointer difference between %s and %s", xt, yt)
+			}
+			xi := lo.b.Cast(ir.OpPtrToInt, ir.I64, xv)
+			yi := lo.b.Cast(ir.OpPtrToInt, ir.I64, yv)
+			diff := lo.b.Bin(ir.OpSub, ir.I64, xi, yi)
+			size := xt.Elem.Size()
+			if size == 0 {
+				return nil, nil, lo.errf(line, "pointer difference on void pointers")
+			}
+			if size == 1 {
+				return diff, tyInt, nil
+			}
+			return lo.b.Bin(ir.OpSDiv, ir.I64, diff, ir.ConstInt(size)), tyInt, nil
+		default:
+			return nil, nil, lo.errf(line, "invalid pointer arithmetic %s %s %s", xt, op, yt)
+		}
+	}
+	if !xt.IsInteger() || !yt.IsInteger() {
+		return nil, nil, lo.errf(line, "operator %q requires integers, not %s and %s", op, xt, yt)
+	}
+	// Usual promotions: byte op byte stays byte; anything with int is int.
+	if xt.Kind == TByte && yt.Kind == TByte {
+		return lo.b.Bin(irOp, ir.I8, xv, yv), tyByte, nil
+	}
+	xv64, _ := lo.promote(xv, xt)
+	yv64, _ := lo.promote(yv, yt)
+	return lo.b.Bin(irOp, ir.I64, xv64, yv64), tyInt, nil
+}
+
+// ptrAdd emits p + sign*idx scaled by the element size.
+func (lo *lowerer) ptrAdd(p ir.Value, pt *Type, idx ir.Value, it *Type, sign int64, line int) (ir.Value, *Type, error) {
+	if pt.Elem.Kind == TVoid {
+		return nil, nil, lo.errf(line, "arithmetic on void pointer")
+	}
+	idx64, _ := lo.promote(idx, it)
+	return lo.b.PtrAdd(p, idx64, sign*pt.Elem.Size(), 0), pt, nil
+}
+
+// promote widens byte to int; ints pass through.
+func (lo *lowerer) promote(v ir.Value, t *Type) (ir.Value, *Type) {
+	if t.Kind == TByte {
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstInt(c.Val & 0xff), tyInt
+		}
+		return lo.b.Cast(ir.OpZExt, ir.I64, v), tyInt
+	}
+	return v, t
+}
+
+// shortCircuit lowers && and || with a result slot (no phi nodes in the IR).
+func (lo *lowerer) shortCircuit(x *BinaryExpr) (ir.Value, *Type, error) {
+	slot := lo.emitAlloca(ir.I1, x.Line)
+	xv, err := lo.truthy(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo.b.Store(ir.I1, xv, slot)
+	evalY := lo.b.NewBlock("sc.rhs")
+	done := lo.b.NewBlock("sc.done")
+	if x.Op == "&&" {
+		lo.b.Br(xv, evalY, done)
+	} else {
+		lo.b.Br(xv, done, evalY)
+	}
+	lo.b.SetBlock(evalY)
+	yv, err := lo.truthy(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo.b.Store(ir.I1, yv, slot)
+	lo.b.Jmp(done)
+	lo.b.SetBlock(done)
+	return lo.b.Load(ir.I1, slot), tyBool, nil
+}
+
+// truthy evaluates an expression as a branch condition with C semantics:
+// bool as-is; integers and pointers compare against zero/null.
+func (lo *lowerer) truthy(e Expr) (ir.Value, error) {
+	v, vt, err := lo.value(e)
+	if err != nil {
+		return nil, err
+	}
+	return lo.truthyValue(v, vt, e.exprLine())
+}
+
+func (lo *lowerer) truthyValue(v ir.Value, vt *Type, line int) (ir.Value, error) {
+	switch {
+	case vt.Kind == TBool:
+		return v, nil
+	case vt.IsInteger():
+		v64, _ := lo.promote(v, vt)
+		return lo.b.Cmp(ir.OpNe, v64, ir.ConstInt(0)), nil
+	case vt.Kind == TPtr:
+		return lo.b.Cmp(ir.OpNe, v, ir.Null()), nil
+	}
+	return nil, lo.errf(line, "%s is not usable as a condition", vt)
+}
+
+// cast lowers an explicit (T)x cast.
+func (lo *lowerer) cast(x *CastExpr) (ir.Value, *Type, error) {
+	to, err := lo.c.resolveType(x.To)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, vt, err := lo.value(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case vt.equal(to):
+		return v, to, nil
+	case vt.Kind == TPtr && to.Kind == TPtr:
+		return v, to, nil // opaque pointers: free conversion
+	case vt.IsInteger() && to.IsInteger():
+		cv, err := lo.convert(v, vt, to, x.Line)
+		return cv, to, err
+	case vt.Kind == TBool && to.IsInteger():
+		wide := lo.b.Cast(ir.OpZExt, ir.I64, v)
+		cv, err := lo.convert(wide, tyInt, to, x.Line)
+		return cv, to, err
+	case vt.IsInteger() && to.Kind == TBool:
+		v64, _ := lo.promote(v, vt)
+		return lo.b.Cmp(ir.OpNe, v64, ir.ConstInt(0)), tyBool, nil
+	case vt.IsInteger() && to.Kind == TPtr:
+		v64, _ := lo.promote(v, vt)
+		return lo.b.Cast(ir.OpIntToPtr, ir.Ptr, v64), to, nil
+	case vt.Kind == TPtr && to.Kind == TInt:
+		return lo.b.Cast(ir.OpPtrToInt, ir.I64, v), to, nil
+	}
+	return nil, nil, lo.errf(x.Line, "invalid cast from %s to %s", vt, to)
+}
+
+// convert implicitly converts v (of type from) to type want.
+func (lo *lowerer) convert(v ir.Value, from, want *Type, line int) (ir.Value, error) {
+	switch {
+	case from.equal(want):
+		return v, nil
+	case from.Kind == TInt && want.Kind == TByte:
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstI8(c.Val), nil
+		}
+		return lo.b.Cast(ir.OpTrunc, ir.I8, v), nil
+	case from.Kind == TByte && want.Kind == TInt:
+		v64, _ := lo.promote(v, from)
+		return v64, nil
+	case from.Kind == TPtr && want.Kind == TPtr:
+		// null (void*) to any pointer; byte* as the universal pointer.
+		if from.Elem.Kind == TVoid || from.isBytePtr() || want.isBytePtr() {
+			return v, nil
+		}
+	}
+	return nil, lo.errf(line, "cannot use %s where %s is required", from, want)
+}
+
+// call lowers intrinsics and function calls.
+func (lo *lowerer) call(x *CallExpr, allowVoid bool) (ir.Value, *Type, error) {
+	if k, ok := flushIntrinsics[x.Name]; ok {
+		if len(x.Args) != 1 {
+			return nil, nil, lo.errf(x.Line, "%s takes exactly one pointer", x.Name)
+		}
+		v, vt, err := lo.value(x.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if vt.Kind != TPtr {
+			return nil, nil, lo.errf(x.Line, "%s requires a pointer, not %s", x.Name, vt)
+		}
+		lo.b.Flush(k, v)
+		return nil, tyVoid, nil
+	}
+	if k, ok := fenceIntrinsics[x.Name]; ok {
+		if len(x.Args) != 0 {
+			return nil, nil, lo.errf(x.Line, "%s takes no arguments", x.Name)
+		}
+		lo.b.Fence(k)
+		return nil, tyVoid, nil
+	}
+	if x.Name == "ntstore" {
+		if len(x.Args) != 2 {
+			return nil, nil, lo.errf(x.Line, "ntstore takes (pointer, value)")
+		}
+		p, pt, err := lo.value(x.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		if pt.Kind != TPtr || !pt.Elem.IsScalar() {
+			return nil, nil, lo.errf(x.Line, "ntstore requires a pointer to a scalar, not %s", pt)
+		}
+		v, vt, err := lo.value(x.Args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := lo.convert(v, vt, pt.Elem, x.Line)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo.b.NTStore(pt.Elem.IR(), cv, p)
+		return nil, tyVoid, nil
+	}
+	fi, ok := lo.c.funcs[x.Name]
+	if !ok {
+		return nil, nil, lo.errf(x.Line, "undefined function %q", x.Name)
+	}
+	if len(x.Args) != len(fi.params) {
+		return nil, nil, lo.errf(x.Line, "%s takes %d argument(s), got %d", x.Name, len(fi.params), len(x.Args))
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, vt, err := lo.value(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := lo.convert(v, vt, fi.params[i], a.exprLine())
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = cv
+	}
+	res := lo.b.Call(fi.fn, args...)
+	if fi.ret.Kind == TVoid {
+		if !allowVoid {
+			return nil, nil, lo.errf(x.Line, "void result of %s used as a value", x.Name)
+		}
+		return nil, tyVoid, nil
+	}
+	return res, fi.ret, nil
+}

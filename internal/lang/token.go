@@ -1,0 +1,86 @@
+// Package lang implements pmc, the small C-like front-end language the
+// corpus programs are written in — the counterpart of the C sources the
+// paper's artifact compiles with clang/WLLVM. The compiler is a classic
+// pipeline: lexer → recursive-descent parser → semantic analysis →
+// lowering to the IR (clang -O0 shape: every local is an alloca).
+//
+// Language summary:
+//
+//	struct node { int key; node *next; };
+//	pm int pool[1024];                  // persistent global
+//	int add(int a, int b) { return a + b; }
+//
+//	types:      int (i64), byte (i8), bool (i1), void, T*, T[N]
+//	statements: declarations, assignment (=, +=, -=), if/else, while,
+//	            for, return, break, continue, blocks, expression stmts
+//	expressions: integer/char/string literals, true/false/null, ident,
+//	            unary - ! ~ * &, binary arithmetic/logic/comparison with
+//	            C precedence, a[i], s.f, p->f, f(...), (T)e casts,
+//	            sizeof(T)
+//	persistence: clwb(p), clflushopt(p), clflush(p), sfence(), mfence(),
+//	            ntstore(p, v) lower to the dedicated IR instructions;
+//	            the standard externals (pm_alloc, pm_root, malloc, free,
+//	            memcpy, memset, flush_range, pm_checkpoint, print_int,
+//	            print_str, abort_msg) are pre-declared
+package lang
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokChar
+	tokString
+	tokPunct // operators and punctuation
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // tokInt/tokChar
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.val)
+	case tokChar:
+		return fmt.Sprintf("character literal %q", rune(t.val))
+	case tokString:
+		return fmt.Sprintf("string literal %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords of the language (checked against identifier misuse).
+var keywords = map[string]bool{
+	"struct": true, "pm": true, "int": true, "byte": true, "bool": true,
+	"void": true, "if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "true": true,
+	"false": true, "null": true, "sizeof": true, "switch": true,
+	"case": true, "default": true, "const": true,
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+func errf(file string, line int, format string, args ...any) *Error {
+	return &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,252 @@
+// Package pmcheck is the durability-bug detector: the repository's
+// equivalent of Intel's pmemcheck. It replays a PM operation trace through
+// the pmem durability state machine and reports, per static store site,
+// whether the store can reach a durability point (a pm_checkpoint or the
+// end of the program) without being flushed and fenced. Reports carry
+// everything the fixer needs: the offending store's call stack, the bug
+// class, and the durability points that observed the violation.
+package pmcheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hippocrates/internal/pmem"
+	"hippocrates/internal/trace"
+)
+
+// Report is one durability bug, aggregated over all dynamic occurrences of
+// the same static store site.
+type Report struct {
+	// Store is a representative store event (the first dynamic instance
+	// that violated).
+	Store *trace.Event
+	// NeedFlush / NeedFence record which mechanisms were missing across
+	// the observed violations (a site can be missing-flush at one
+	// durability point and missing-flush&fence at another; the union is
+	// what the fix must provide).
+	NeedFlush bool
+	NeedFence bool
+	// Checkpoints are the durability-point events at which the site was
+	// caught non-durable, deduplicated by site.
+	Checkpoints []*trace.Event
+	// Stacks are the distinct call stacks (innermost first) through which
+	// the site was reached, deduplicated; the hoisting heuristic only
+	// considers call sites common to all of them.
+	Stacks [][]trace.Frame
+	// FlushSites are the sites of flush instructions that flushed the
+	// store when a missing-fence violation was observed — the fence fix
+	// is inserted after them (for non-temporal stores the "flush site" is
+	// the store itself).
+	FlushSites []trace.Frame
+	// Occurrences counts dynamic violations.
+	Occurrences int
+}
+
+// Class returns the paper's bug classification for the report.
+func (r *Report) Class() pmem.BugClass {
+	switch {
+	case r.NeedFlush && r.NeedFence:
+		return pmem.MissingFlushFence
+	case r.NeedFlush:
+		return pmem.MissingFlush
+	default:
+		return pmem.MissingFence
+	}
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at %s", r.Class(), r.Store.Site())
+	fmt.Fprintf(&b, " (%d occurrence(s), addr 0x%x size %d)", r.Occurrences, r.Store.Addr, r.Store.Size)
+	for _, f := range r.Store.Stack[1:] {
+		fmt.Fprintf(&b, "\n\tcalled from %s", f)
+	}
+	return b.String()
+}
+
+// SiteKey identifies a static program location (for deduplication).
+type SiteKey struct {
+	Func    string
+	InstrID int
+}
+
+// Key returns the report's site key.
+func (r *Report) Key() SiteKey {
+	s := r.Store.Site()
+	return SiteKey{Func: s.Func, InstrID: s.InstrID}
+}
+
+// Result is the detector output for one trace.
+type Result struct {
+	Reports []*Report
+	// RedundantFlushes / RedundantFences are performance diagnostics
+	// (§7): reported, never fixed.
+	RedundantFlushes []*trace.Event
+	RedundantFences  []*trace.Event
+	// Stats.
+	Stores      int
+	Flushes     int
+	Fences      int
+	Checkpoints int
+}
+
+// Clean reports whether no durability bugs were found.
+func (res *Result) Clean() bool { return len(res.Reports) == 0 }
+
+// UniqueSites counts the distinct static store sites among the reports —
+// how pmemcheck (and the paper) counts bugs. A site reached through
+// several call chains yields several reports (each may need its own
+// fix placement) but remains one bug.
+func (res *Result) UniqueSites() int {
+	seen := map[SiteKey]bool{}
+	for _, r := range res.Reports {
+		seen[r.Key()] = true
+	}
+	return len(seen)
+}
+
+// Summary renders a human-readable digest.
+func (res *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pmcheck: %d store(s), %d flush(es), %d fence(s), %d durability point(s)\n",
+		res.Stores, res.Flushes, res.Fences, res.Checkpoints)
+	if res.Clean() {
+		b.WriteString("pmcheck: no durability bugs found\n")
+	} else {
+		fmt.Fprintf(&b, "pmcheck: %d durability bug(s):\n", len(res.Reports))
+		for i, r := range res.Reports {
+			fmt.Fprintf(&b, "[%d] %s\n", i+1, r)
+		}
+	}
+	if n := len(res.RedundantFlushes); n > 0 {
+		fmt.Fprintf(&b, "pmcheck: %d redundant flush(es) (performance diagnostic)\n", n)
+	}
+	if n := len(res.RedundantFences); n > 0 {
+		fmt.Fprintf(&b, "pmcheck: %d redundant fence(s) (performance diagnostic)\n", n)
+	}
+	return b.String()
+}
+
+// Check replays the trace and aggregates durability violations by store
+// site. Reports are ordered by the first violating store's sequence.
+func Check(t *trace.Trace) *Result {
+	// Reports deduplicate by (store site, call stack): the same static
+	// store reached through two different call chains is two bugs — each
+	// chain needs its own (possibly hoisted) fix, and the persistent
+	// subprogram transformation naturally shares clones between them.
+	type reportKey struct {
+		site  SiteKey
+		stack string
+	}
+	res := &Result{}
+	tracker := pmem.NewTracker()
+	bySeq := make(map[int]*trace.Event)
+	reports := make(map[reportKey]*Report)
+	ckptSeen := make(map[reportKey]map[SiteKey]bool)
+	flushSeen := make(map[reportKey]map[SiteKey]bool)
+	// Stack keys are built once per event: a pending store is re-examined
+	// at every later durability point.
+	stackKeys := make(map[*trace.Event]string)
+	keyOf := func(e *trace.Event) string {
+		if k, ok := stackKeys[e]; ok {
+			return k
+		}
+		k := stackKey(e.Stack)
+		stackKeys[e] = k
+		return k
+	}
+
+	for _, e := range t.Events {
+		switch e.Kind {
+		case trace.KindStore:
+			res.Stores++
+			bySeq[e.Seq] = e
+			tracker.OnStore(e.Seq, e.Addr, make([]byte, e.Size))
+		case trace.KindNTStore:
+			res.Stores++
+			bySeq[e.Seq] = e
+			tracker.OnNTStore(e.Seq, e.Addr, make([]byte, e.Size))
+		case trace.KindFlush:
+			res.Flushes++
+			bySeq[e.Seq] = e
+			before := len(tracker.RedundantFlushes)
+			tracker.OnFlush(e.Seq, e.FlushK.Ordered(), e.Addr)
+			if len(tracker.RedundantFlushes) > before {
+				res.RedundantFlushes = append(res.RedundantFlushes, e)
+			}
+		case trace.KindFence:
+			res.Fences++
+			before := tracker.RedundantFences
+			tracker.OnFence(e.Seq)
+			if tracker.RedundantFences > before {
+				res.RedundantFences = append(res.RedundantFences, e)
+			}
+		case trace.KindCheckpoint:
+			res.Checkpoints++
+			for _, v := range tracker.OnCheckpoint(e.Seq) {
+				se := bySeq[v.Store.Seq]
+				if se == nil {
+					continue
+				}
+				site := reportKey{
+					site:  SiteKey{Func: se.Site().Func, InstrID: se.Site().InstrID},
+					stack: keyOf(se),
+				}
+				rep := reports[site]
+				if rep == nil {
+					rep = &Report{Store: se, Stacks: [][]trace.Frame{se.Stack}}
+					reports[site] = rep
+					ckptSeen[site] = make(map[SiteKey]bool)
+					flushSeen[site] = make(map[SiteKey]bool)
+				}
+				rep.Occurrences++
+				switch v.Class {
+				case pmem.MissingFlush:
+					rep.NeedFlush = true
+				case pmem.MissingFence:
+					rep.NeedFence = true
+				case pmem.MissingFlushFence:
+					rep.NeedFlush = true
+					rep.NeedFence = true
+				}
+				if v.Class == pmem.MissingFence && v.Store.FlushSeq >= 0 {
+					if fe := bySeq[v.Store.FlushSeq]; fe != nil {
+						fs := fe.Site()
+						fk := SiteKey{Func: fs.Func, InstrID: fs.InstrID}
+						if !flushSeen[site][fk] {
+							flushSeen[site][fk] = true
+							rep.FlushSites = append(rep.FlushSites, fs)
+						}
+					}
+				}
+				ck := SiteKey{Func: e.Site().Func, InstrID: e.Site().InstrID}
+				if !ckptSeen[site][ck] {
+					ckptSeen[site][ck] = true
+					rep.Checkpoints = append(rep.Checkpoints, e)
+				}
+			}
+		}
+	}
+	for _, r := range reports {
+		res.Reports = append(res.Reports, r)
+	}
+	sort.Slice(res.Reports, func(i, j int) bool {
+		return res.Reports[i].Store.Seq < res.Reports[j].Store.Seq
+	})
+	return res
+}
+
+// stackKey renders a stack as a deduplication key.
+func stackKey(stack []trace.Frame) string {
+	var b strings.Builder
+	for _, f := range stack {
+		b.WriteString(f.Func)
+		b.WriteByte('@')
+		b.WriteString(strconv.Itoa(f.InstrID))
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package pmem
+
+import "encoding/binary"
+
+// pageSize is the granularity of the sparse backing store.
+const pageSize = 1 << 12
+
+// Memory is a sparse byte-addressable memory covering the whole simulated
+// address space. Pages materialize (zeroed) on first touch; reads of
+// untouched pages return zeros without allocating.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) (*[pageSize]byte, uint64) {
+	pn := addr / pageSize
+	pg, ok := m.pages[pn]
+	if !ok && create {
+		pg = new([pageSize]byte)
+		m.pages[pn] = pg
+	}
+	return pg, addr % pageSize
+}
+
+// Load8 reads one byte.
+func (m *Memory) Load8(addr uint64) byte {
+	pg, off := m.page(addr, false)
+	if pg == nil {
+		return 0
+	}
+	return pg[off]
+}
+
+// Store8 writes one byte.
+func (m *Memory) Store8(addr uint64, v byte) {
+	pg, off := m.page(addr, true)
+	pg[off] = v
+}
+
+// Read copies len(dst) bytes starting at addr into dst.
+func (m *Memory) Read(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		pg, off := m.page(addr, false)
+		n := pageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if pg == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			copy(dst[:n], pg[off:int(off)+n])
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies src into memory starting at addr.
+func (m *Memory) Write(addr uint64, src []byte) {
+	for len(src) > 0 {
+		pg, off := m.page(addr, true)
+		n := pageSize - int(off)
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(pg[off:int(off)+n], src[:n])
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadUint reads a little-endian unsigned integer of the given byte size
+// (1 or 8).
+func (m *Memory) ReadUint(addr uint64, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(m.Load8(addr))
+	case 8:
+		var buf [8]byte
+		m.Read(addr, buf[:])
+		return binary.LittleEndian.Uint64(buf[:])
+	default:
+		var buf [8]byte
+		m.Read(addr, buf[:size])
+		v := uint64(0)
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
+		return v
+	}
+}
+
+// WriteUint writes a little-endian unsigned integer of the given byte size.
+func (m *Memory) WriteUint(addr uint64, size int, v uint64) {
+	switch size {
+	case 1:
+		m.Store8(addr, byte(v))
+	case 8:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		m.Write(addr, buf[:])
+	default:
+		var buf [8]byte
+		for i := 0; i < size; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		m.Write(addr, buf[:size])
+	}
+}
+
+// Clone deep-copies the memory (used to snapshot durable images).
+func (m *Memory) Clone() *Memory {
+	nm := NewMemory()
+	for pn, pg := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *pg
+		nm.pages[pn] = cp
+	}
+	return nm
+}
+
+// DiffPM counts bytes that differ between two memories over the
+// persistent range, skipping the reserved allocator-metadata line. It
+// walks the union of both memories' materialized PM pages, so sparse
+// images compare cheaply.
+func DiffPM(a, b *Memory) int {
+	pages := map[uint64]bool{}
+	for pn := range a.pages {
+		if pn*pageSize >= PMBase {
+			pages[pn] = true
+		}
+	}
+	for pn := range b.pages {
+		if pn*pageSize >= PMBase {
+			pages[pn] = true
+		}
+	}
+	diff := 0
+	bufA := make([]byte, pageSize)
+	bufB := make([]byte, pageSize)
+	for pn := range pages {
+		addr := pn * pageSize
+		a.Read(addr, bufA)
+		b.Read(addr, bufB)
+		start := 0
+		if addr == PMBase {
+			start = LineSize // allocator metadata line
+		}
+		for i := start; i < pageSize; i++ {
+			if bufA[i] != bufB[i] {
+				diff++
+			}
+		}
+	}
+	return diff
+}
+
+// EqualRange reports whether two memories hold identical bytes over
+// [addr, addr+n).
+func EqualRange(a, b *Memory, addr, n uint64) bool {
+	const chunk = 4096
+	bufA := make([]byte, chunk)
+	bufB := make([]byte, chunk)
+	for n > 0 {
+		c := uint64(chunk)
+		if c > n {
+			c = n
+		}
+		a.Read(addr, bufA[:c])
+		b.Read(addr, bufB[:c])
+		for i := uint64(0); i < c; i++ {
+			if bufA[i] != bufB[i] {
+				return false
+			}
+		}
+		addr += c
+		n -= c
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package pmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StoreState is the durability state of a tracked PM store, following the
+// paper's §4.2 definitions: a store is volatile (dirty) until a flush of
+// its cache line is issued, and the flush itself only creates a durability
+// ordering once a subsequent fence executes.
+type StoreState int
+
+// The durability states.
+const (
+	// StoreDirty: the update sits in the volatile CPU cache.
+	StoreDirty StoreState = iota
+	// StoreFlushed: a weakly-ordered flush (CLWB/CLFLUSHOPT) or
+	// non-temporal store has been issued but not yet fenced.
+	StoreFlushed
+	// StoreDurable: flushed and fenced (or CLFLUSHed); survives a crash.
+	StoreDurable
+)
+
+func (s StoreState) String() string {
+	switch s {
+	case StoreDirty:
+		return "dirty"
+	case StoreFlushed:
+		return "flushed"
+	case StoreDurable:
+		return "durable"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// TrackedStore is one store to persistent memory that has not yet become
+// durable. Stores never span cache lines in this model (all IR scalars are
+// naturally aligned and at most 8 bytes), which the tracker checks.
+type TrackedStore struct {
+	Addr uint64
+	Data []byte
+	// Seq is the global event sequence number of the store.
+	Seq int
+	// State is the current durability state.
+	State StoreState
+	// FlushSeq is the sequence number of the flush that moved the store
+	// to StoreFlushed, or -1.
+	FlushSeq int
+	// NT marks a non-temporal store (born flushed).
+	NT bool
+}
+
+// Size returns the store width in bytes.
+func (s *TrackedStore) Size() int { return len(s.Data) }
+
+// Line returns the base address of the cache line holding the store.
+func (s *TrackedStore) Line() uint64 { return LineOf(s.Addr) }
+
+// BugClass classifies a durability violation, matching the paper's
+// taxonomy (§2.1).
+type BugClass int
+
+// The durability bug classes.
+const (
+	// MissingFlush: the store was never flushed, but an existing fence
+	// follows it, so inserting only a flush (before that fence) fixes it.
+	MissingFlush BugClass = iota
+	// MissingFence: the store was flushed with a weakly-ordered flush but
+	// no fence followed the flush.
+	MissingFence
+	// MissingFlushFence: neither a flush nor a subsequent fence exists.
+	MissingFlushFence
+)
+
+func (c BugClass) String() string {
+	switch c {
+	case MissingFlush:
+		return "missing-flush"
+	case MissingFence:
+		return "missing-fence"
+	case MissingFlushFence:
+		return "missing-flush&fence"
+	}
+	return fmt.Sprintf("bugclass(%d)", int(c))
+}
+
+// Violation is a durability bug observed at a durability point: the store
+// was not durable when the program required it to be.
+type Violation struct {
+	Store         *TrackedStore
+	Class         BugClass
+	CheckpointSeq int
+}
+
+// RedundantFlush is a performance diagnostic: a flush of a line with no
+// dirty stores (§7 — reported, never auto-fixed).
+type RedundantFlush struct {
+	Addr uint64
+	Seq  int
+}
+
+// Tracker implements the pmemcheck durability state machine over a stream
+// of PM events. It maintains the durable shadow image used to generate
+// crash images.
+type Tracker struct {
+	// pending maps a cache-line base to the non-durable stores on it.
+	pending map[uint64][]*TrackedStore
+	// durable is the shadow image holding only durable bytes.
+	durable *Memory
+
+	lastFenceSeq int
+	nPending     int
+
+	// Diagnostics and statistics.
+	RedundantFlushes []RedundantFlush
+	RedundantFences  int
+	DurableStores    int
+	TotalStores      int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		pending:      make(map[uint64][]*TrackedStore),
+		durable:      NewMemory(),
+		lastFenceSeq: -1,
+	}
+}
+
+// OnStore records a store of data at addr in persistent memory. A store
+// that exactly overwrites a pending store replaces it (the old update can
+// no longer be observed after a crash).
+func (t *Tracker) OnStore(seq int, addr uint64, data []byte) *TrackedStore {
+	if LineOf(addr) != LineOf(addr+uint64(len(data))-1) {
+		panic(fmt.Sprintf("pmem: store at %#x size %d spans cache lines", addr, len(data)))
+	}
+	t.TotalStores++
+	line := LineOf(addr)
+	list := t.pending[line]
+	for i, old := range list {
+		if old.Addr == addr && old.Size() == len(data) {
+			// Exact overwrite: drop the stale pending store.
+			list = append(list[:i], list[i+1:]...)
+			t.nPending--
+			break
+		}
+	}
+	st := &TrackedStore{
+		Addr:     addr,
+		Data:     append([]byte(nil), data...),
+		Seq:      seq,
+		State:    StoreDirty,
+		FlushSeq: -1,
+	}
+	t.pending[line] = append(list, st)
+	t.nPending++
+	return st
+}
+
+// OnNTStore records a non-temporal store: it bypasses the cache and is
+// durable after the next fence (born in the flushed state).
+func (t *Tracker) OnNTStore(seq int, addr uint64, data []byte) *TrackedStore {
+	st := t.OnStore(seq, addr, data)
+	st.State = StoreFlushed
+	st.FlushSeq = seq
+	st.NT = true
+	return st
+}
+
+// OnFlush records a cache-line flush of the line containing addr and
+// returns the number of stores it transitioned. CLFLUSH is strongly
+// ordered and commits affected stores immediately; CLWB and CLFLUSHOPT
+// move them to StoreFlushed pending a fence.
+func (t *Tracker) OnFlush(seq int, ordered bool, addr uint64) int {
+	line := LineOf(addr)
+	moved := 0
+	list := t.pending[line]
+	if ordered {
+		for _, st := range list {
+			// CLFLUSH retires both dirty and previously flushed stores.
+			t.commit(st)
+			moved++
+		}
+		if moved == 0 {
+			t.RedundantFlushes = append(t.RedundantFlushes, RedundantFlush{Addr: addr, Seq: seq})
+		}
+		delete(t.pending, line)
+		t.nPending -= moved
+		return moved
+	}
+	for _, st := range list {
+		if st.State == StoreDirty {
+			st.State = StoreFlushed
+			st.FlushSeq = seq
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.RedundantFlushes = append(t.RedundantFlushes, RedundantFlush{Addr: addr, Seq: seq})
+	}
+	return moved
+}
+
+// OnFence records a store fence: every flushed store becomes durable.
+// It returns the number of distinct cache lines drained (the unit the
+// cost model charges for, since the memory controller retires write-backs
+// per line).
+func (t *Tracker) OnFence(seq int) int {
+	t.lastFenceSeq = seq
+	drained := 0
+	lines := 0
+	for line, list := range t.pending {
+		var keep []*TrackedStore
+		lineDrained := false
+		for _, st := range list {
+			if st.State == StoreFlushed {
+				t.commit(st)
+				drained++
+				lineDrained = true
+			} else {
+				keep = append(keep, st)
+			}
+		}
+		if lineDrained {
+			lines++
+		}
+		if len(keep) == 0 {
+			delete(t.pending, line)
+		} else {
+			t.pending[line] = keep
+		}
+	}
+	t.nPending -= drained
+	if drained == 0 {
+		t.RedundantFences++
+	}
+	return lines
+}
+
+func (t *Tracker) commit(st *TrackedStore) {
+	st.State = StoreDurable
+	t.durable.Write(st.Addr, st.Data)
+	t.DurableStores++
+}
+
+// OnCheckpoint evaluates a durability point: every pending store is a
+// violation, classified per the paper's bug taxonomy. Pending stores are
+// kept (the program may still persist them later; the detector
+// deduplicates reports by program location).
+func (t *Tracker) OnCheckpoint(seq int) []Violation {
+	out := make([]Violation, 0, t.nPending)
+	for _, list := range t.pending {
+		for _, st := range list {
+			v := Violation{Store: st, CheckpointSeq: seq}
+			switch {
+			case st.State == StoreFlushed:
+				v.Class = MissingFence
+			case t.lastFenceSeq > st.Seq:
+				v.Class = MissingFlush
+			default:
+				v.Class = MissingFlushFence
+			}
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Store.Seq < out[j].Store.Seq })
+	return out
+}
+
+// Pending returns the non-durable stores ordered by sequence number.
+func (t *Tracker) Pending() []*TrackedStore {
+	out := make([]*TrackedStore, 0, t.nPending)
+	for _, list := range t.pending {
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// NumPending returns the count of non-durable stores.
+func (t *Tracker) NumPending() int { return t.nPending }
+
+// SeedDurable marks pre-existing PM content (e.g. persistent-global
+// initializers, or an image surviving a restart) as durable without
+// counting it as a program store.
+func (t *Tracker) SeedDurable(addr uint64, data []byte) {
+	t.durable.Write(addr, data)
+}
+
+// DurableImage returns a snapshot of the durable PM contents.
+func (t *Tracker) DurableImage() *Memory { return t.durable.Clone() }
+
+// CrashImage builds a possible post-crash PM image: the durable bytes plus
+// any subset of the pending stores chosen by keep (cache lines may be
+// evicted at any time, so any subset of non-durable stores may have
+// reached PM). Chosen stores are applied in sequence order so later
+// overwrites win, matching store order within a line.
+func (t *Tracker) CrashImage(keep func(*TrackedStore) bool) *Memory {
+	img := t.durable.Clone()
+	for _, st := range t.Pending() {
+		if keep(st) {
+			img.Write(st.Addr, st.Data)
+		}
+	}
+	return img
+}

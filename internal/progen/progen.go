@@ -1,0 +1,176 @@
+// Package progen generates random-but-well-formed persistent-memory
+// programs for property testing the detector and the fixer. Programs mix
+// direct PM stores, helper functions shared between PM and volatile
+// callers, flushes of the right and wrong flavours, fences, and durability
+// points — the whole space of durability-bug species — while staying
+// deterministic per seed, loop-free and verifier-clean.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Helpers is the number of store helpers (each takes a pointer and a
+	// value and stores through the pointer, sometimes flushing).
+	Helpers int
+	// Ops is the number of top-level operations in main.
+	Ops int
+	// PMCells is the number of persistent 8-slot arrays.
+	PMCells int
+}
+
+// DefaultConfig returns moderate bounds.
+func DefaultConfig() Config {
+	return Config{Helpers: 3, Ops: 24, PMCells: 2}
+}
+
+// Generate builds a random program from the seed. The module's @main takes
+// no arguments and returns an i64 checksum over the persistent cells, so
+// "do no harm" is observable: a repaired program must return the same
+// checksum and leave the same PM bytes.
+func Generate(seed int64, cfg Config) *ir.Module {
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule(fmt.Sprintf("progen-%d", seed))
+	for _, d := range interp.StdDecls() {
+		m.AddFunc(d)
+	}
+	// Persistent cells: 8 i64 slots each, one cache line per cell.
+	for i := 0; i < cfg.PMCells; i++ {
+		m.AddGlobal(&ir.Global{Name: fmt.Sprintf("cell%d", i), Elem: ir.Array(ir.I64, 8), PM: true})
+	}
+	m.AddGlobal(&ir.Global{Name: "vol", Elem: ir.Array(ir.I64, 8)})
+
+	// Helpers: store through a pointer parameter; some flush afterwards,
+	// some do not (the seeded bug species).
+	type helper struct {
+		fn      *ir.Func
+		flushes bool
+		fences  bool
+	}
+	helpers := make([]helper, 0, cfg.Helpers)
+	for i := 0; i < cfg.Helpers; i++ {
+		h := helper{flushes: rng.Intn(3) == 0, fences: rng.Intn(4) == 0}
+		fn := ir.NewFunc(fmt.Sprintf("store%d", i), ir.Void,
+			&ir.Param{Name: "p", Ty: ir.Ptr}, &ir.Param{Name: "v", Ty: ir.I64})
+		m.AddFunc(fn)
+		b := ir.NewBuilder(fn)
+		b.SetLoc(ir.Loc{File: "progen.pmc", Line: 100 + i})
+		slot := b.PtrAdd(fn.Params[0], ir.ConstInt(int64(rng.Intn(8))), 8, 0)
+		b.Store(ir.I64, fn.Params[1], slot)
+		if h.flushes {
+			b.Flush(ir.CLWB, slot)
+		}
+		if h.fences {
+			b.Fence(ir.SFENCE)
+		}
+		b.Ret(nil)
+		fn.Renumber()
+		h.fn = fn
+		helpers = append(helpers, h)
+	}
+
+	main := ir.NewFunc("main", ir.I64)
+	m.AddFunc(main)
+	b := ir.NewBuilder(main)
+	b.SetLoc(ir.Loc{File: "progen.pmc", Line: 1})
+	cellPtr := func() ir.Value {
+		return m.Global(fmt.Sprintf("cell%d", rng.Intn(cfg.PMCells)))
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		b.SetLoc(ir.Loc{File: "progen.pmc", Line: op + 1})
+		switch rng.Intn(13) {
+		case 0, 1, 2: // direct PM store, maybe persisted
+			slot := b.PtrAdd(cellPtr(), ir.ConstInt(int64(rng.Intn(8))), 8, 0)
+			b.Store(ir.I64, ir.ConstInt(rng.Int63n(1000)), slot)
+			if rng.Intn(2) == 0 {
+				b.Flush(ir.CLWB, slot)
+				if rng.Intn(2) == 0 {
+					b.Fence(ir.SFENCE)
+				}
+			}
+		case 3, 4, 5: // helper on PM
+			h := helpers[rng.Intn(len(helpers))]
+			b.Call(h.fn, cellPtr(), ir.ConstInt(rng.Int63n(1000)))
+		case 6: // helper on volatile memory (keeps the heuristic honest)
+			h := helpers[rng.Intn(len(helpers))]
+			b.Call(h.fn, m.Global("vol"), ir.ConstInt(rng.Int63n(1000)))
+		case 7: // stray flush (possibly redundant)
+			b.Flush(ir.CLWB, cellPtr())
+		case 8: // stray fence
+			b.Fence(ir.SFENCE)
+		case 9: // durability point
+			b.Call(m.Func("pm_checkpoint"))
+		case 10: // data-dependent store (exercises branchy fix placement)
+			slot := b.PtrAdd(cellPtr(), ir.ConstInt(int64(rng.Intn(8))), 8, 0)
+			v := b.Load(ir.I64, slot)
+			cond := b.Cmp(ir.OpLt, v, ir.ConstInt(500))
+			then := b.NewBlock("then")
+			merge := b.NewBlock("merge")
+			b.Br(cond, then, merge)
+			b.SetBlock(then)
+			b.Store(ir.I64, ir.ConstInt(rng.Int63n(1000)), slot)
+			if rng.Intn(2) == 0 {
+				b.Flush(ir.CLWB, slot)
+			}
+			b.Jmp(merge)
+			b.SetBlock(merge)
+		case 11: // bounded loop of helper calls (hot-path shape)
+			h := helpers[rng.Intn(len(helpers))]
+			target := ir.Value(m.Global("vol"))
+			if rng.Intn(2) == 0 {
+				target = cellPtr()
+			}
+			iters := int64(2 + rng.Intn(4))
+			iSlot := b.Alloca(ir.I64)
+			b.Store(ir.I64, ir.ConstInt(0), iSlot)
+			cond := b.NewBlock("loop.cond")
+			body := b.NewBlock("loop.body")
+			exit := b.NewBlock("loop.exit")
+			b.Jmp(cond)
+			b.SetBlock(cond)
+			iv := b.Load(ir.I64, iSlot)
+			c := b.Cmp(ir.OpLt, iv, ir.ConstInt(iters))
+			b.Br(c, body, exit)
+			b.SetBlock(body)
+			b.Call(h.fn, target, iv)
+			b.Store(ir.I64, b.Bin(ir.OpAdd, ir.I64, iv, ir.ConstInt(1)), iSlot)
+			b.Jmp(cond)
+			b.SetBlock(exit)
+		case 12: // branch-guarded durability point (limits hoisting)
+			slot := b.PtrAdd(cellPtr(), ir.ConstInt(int64(rng.Intn(8))), 8, 0)
+			v := b.Load(ir.I64, slot)
+			cond := b.Cmp(ir.OpGe, v, ir.ConstInt(0))
+			then := b.NewBlock("ckpt")
+			merge := b.NewBlock("after")
+			b.Br(cond, then, merge)
+			b.SetBlock(then)
+			b.Call(m.Func("pm_checkpoint"))
+			b.Jmp(merge)
+			b.SetBlock(merge)
+		}
+	}
+	// Checksum every PM slot so repairs are observable.
+	sum := ir.Value(ir.ConstInt(0))
+	for i := 0; i < cfg.PMCells; i++ {
+		base := m.Global(fmt.Sprintf("cell%d", i))
+		for s := 0; s < 8; s++ {
+			slot := b.PtrAdd(base, ir.ConstInt(int64(s)), 8, 0)
+			v := b.Load(ir.I64, slot)
+			mixed := b.Bin(ir.OpMul, ir.I64, sum, ir.ConstInt(31))
+			sum = b.Bin(ir.OpAdd, ir.I64, mixed, v)
+		}
+	}
+	b.Ret(sum)
+	main.Renumber()
+
+	if err := ir.Verify(m); err != nil {
+		panic(fmt.Sprintf("progen: seed %d produced an invalid module: %v", seed, err))
+	}
+	return m
+}

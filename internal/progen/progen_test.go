@@ -1,0 +1,169 @@
+package progen
+
+import (
+	"testing"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmem"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := ir.Print(Generate(7, DefaultConfig()))
+	b := ir.Print(Generate(7, DefaultConfig()))
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+	c := ir.Print(Generate(8, DefaultConfig()))
+	if a == c {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramsRun(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		m := Generate(seed, DefaultConfig())
+		mach, err := interp.New(m, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.Run("main"); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestRepairDoesNoHarmOnRandomPrograms is the operational "do no harm"
+// property over the whole bug-species space: for many random programs,
+// the repaired program (1) passes the bug finder, (2) returns the same
+// checksum, (3) leaves identical PM contents, (4) never has fewer durable
+// stores, and (5) its worst-case crash image equals its PM contents.
+func TestRepairDoesNoHarmOnRandomPrograms(t *testing.T) {
+	const seeds = 250
+	buggySeeds := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := DefaultConfig()
+		orig := Generate(seed, cfg)
+		machO, err := interp.New(orig, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		retO, err := machO.Run("main")
+		if err != nil {
+			t.Fatalf("seed %d original: %v", seed, err)
+		}
+
+		fixed := Generate(seed, cfg)
+		res, err := core.RunAndRepair(fixed, "main", core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d repair: %v", seed, err)
+		}
+		if !res.Before.Clean() {
+			buggySeeds++
+		}
+		if !res.Fixed() {
+			t.Errorf("seed %d: repair incomplete:\n%s", seed, res.After.Summary())
+			continue
+		}
+		machF, err := interp.New(fixed, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		retF, err := machF.Run("main")
+		if err != nil {
+			t.Fatalf("seed %d repaired: %v", seed, err)
+		}
+		if retF != retO {
+			t.Errorf("seed %d: checksum changed %d -> %d (harm!)", seed, retO, retF)
+		}
+		if d := pmem.DiffPM(machO.Mem, machF.Mem); d != 0 {
+			t.Errorf("seed %d: PM contents differ by %d byte(s) after repair", seed, d)
+		}
+		if machF.Track.DurableStores < machO.Track.DurableStores {
+			t.Errorf("seed %d: durable stores shrank %d -> %d", seed,
+				machO.Track.DurableStores, machF.Track.DurableStores)
+		}
+		if machF.Track.NumPending() != 0 {
+			t.Errorf("seed %d: repaired program left %d stores pending", seed, machF.Track.NumPending())
+		}
+		if d := pmem.DiffPM(machF.CrashImage(nil), machF.Mem); d != 0 {
+			t.Errorf("seed %d: repaired crash image loses %d byte(s)", seed, d)
+		}
+	}
+	if buggySeeds < seeds/2 {
+		t.Errorf("only %d/%d random programs were buggy; the generator lost its teeth", buggySeeds, seeds)
+	}
+}
+
+// TestRandomProgramsRoundTripThroughText: random modules survive
+// Print -> Parse -> Print, before and after repair (the property the fixer
+// relies on for CloneModule and the CLI for .pmir files).
+func TestRandomProgramsRoundTripThroughText(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		m := Generate(seed, DefaultConfig())
+		if _, err := core.RunAndRepair(m, "main", core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		text := ir.Print(m)
+		back, err := ir.ParseModule(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if ir.Print(back) != text {
+			t.Errorf("seed %d: repaired module does not round-trip", seed)
+		}
+		// The reparsed module still runs and is still clean.
+		mach, err := interp.New(back, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.Run("main"); err != nil {
+			t.Fatalf("seed %d: reparsed module: %v", seed, err)
+		}
+		if mach.Track.NumPending() != 0 {
+			t.Errorf("seed %d: reparsed repaired module has pending stores", seed)
+		}
+	}
+}
+
+// TestRepairIdempotentOnRandomPrograms: repairing an already-repaired
+// program changes nothing.
+func TestRepairIdempotentOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		m := Generate(seed, DefaultConfig())
+		if _, err := core.RunAndRepair(m, "main", core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		before := ir.Print(m)
+		res, err := core.RunAndRepair(m, "main", core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fix != nil && len(res.Fix.Fixes) > 0 {
+			t.Errorf("seed %d: second repair applied %d fixes", seed, len(res.Fix.Fixes))
+		}
+		if ir.Print(m) != before {
+			t.Errorf("seed %d: second repair mutated the module", seed)
+		}
+	}
+}
+
+// TestIntraOnlyRepairAlsoClean: the hoisting heuristic is an optimization;
+// with it disabled every random program must still repair completely
+// (§3.3: all durability bugs are fixable intraprocedurally).
+func TestIntraOnlyRepairAlsoClean(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := Generate(seed, DefaultConfig())
+		res, err := core.RunAndRepair(m, "main", core.Options{DisableHoisting: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Fixed() {
+			t.Errorf("seed %d: intra-only repair incomplete", seed)
+		}
+		if res.Fix != nil && res.Fix.InterprocFixes() != 0 {
+			t.Errorf("seed %d: hoisting disabled but interprocedural fixes applied", seed)
+		}
+	}
+}

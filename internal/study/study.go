@@ -1,0 +1,239 @@
+// Package study carries the §3 bug-study dataset: the 26 PMDK durability
+// bugs found with pmemcheck and fixed by developers that motivated
+// Hippocrates, with per-issue repair effort (commits to a passing build,
+// days from open to close). Fig. 1 aggregates this data; the figures in
+// the paper are the group averages (17 commits / 33 days / 66 max for the
+// documented core-library bugs, 2 / 15 / 38 for the documented API-misuse
+// bugs, 13 / 28 / 66 overall), which the per-issue records below
+// reproduce exactly.
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an issue's root cause (the study's two categories).
+type Kind int
+
+// The root-cause categories.
+const (
+	// CoreBug is a bug inside the PMDK libraries or tools.
+	CoreBug Kind = iota
+	// APIMisuse is a bug caused by misusing PMDK's API (in unit tests).
+	APIMisuse
+)
+
+func (k Kind) String() string {
+	if k == APIMisuse {
+		return "API misuse"
+	}
+	return "Core library/tool bug"
+}
+
+// Issue is one studied PMDK bug report.
+type Issue struct {
+	Number int
+	Kind   Kind
+	// Commits is the number of commits until a passing build; 0 when the
+	// repair effort is undocumented (the paper's "-" rows).
+	Commits int
+	// Days from issue open to close; 0 when undocumented.
+	Days int
+	// Documented reports whether effort data exists.
+	Documented bool
+	// Reproduced marks the 11 issues the evaluation reproduced (§6.1).
+	Reproduced bool
+	// Summary describes the bug.
+	Summary string
+}
+
+// Issues returns the 26 studied bugs.
+func Issues() []Issue {
+	type row struct {
+		n, commits, days int
+		repro            bool
+		summary          string
+	}
+	// Group 1: core bugs with undocumented effort (Fig. 1 row one).
+	undocCore := []row{
+		{n: 440, summary: "pool set replica header left unflushed"},
+		{n: 441, summary: "transaction undo log tail not persisted"},
+		{n: 444, summary: "lane section state store missing a fence"},
+	}
+	// Group 2: core bugs with documented effort — 14 issues averaging 17
+	// commits and 33 days, with a 66-day maximum.
+	docCore := []row{
+		{n: 442, commits: 31, days: 66, summary: "heap chunk header persisted without ordering"},
+		{n: 446, commits: 28, days: 45, summary: "pvector entry published before flush"},
+		{n: 447, commits: 25, days: 40, repro: true, summary: "list insert leaves linked node unflushed"},
+		{n: 448, commits: 22, days: 38, summary: "pool descriptor checksum unfenced"},
+		{n: 449, commits: 20, days: 35, summary: "redo log recovery misses tail flush"},
+		{n: 450, commits: 19, days: 33, summary: "bucket vector growth unflushed"},
+		{n: 452, commits: 18, days: 32, repro: true, summary: "freed OID slot cleared without flush"},
+		{n: 458, commits: 17, days: 30, repro: true, summary: "heap zone magic unflushed after init"},
+		{n: 459, commits: 15, days: 28, repro: true, summary: "redo entry value unflushed before tail bump"},
+		{n: 460, commits: 13, days: 26, repro: true, summary: "object retype leaves type_num volatile"},
+		{n: 461, commits: 12, days: 25, repro: true, summary: "pool compat features unflushed"},
+		{n: 463, commits: 10, days: 24, summary: "memcpy'd region published before persist (Listing 2)"},
+		{n: 465, commits: 5, days: 22, summary: "lane layout init skips drain"},
+		{n: 466, commits: 3, days: 18, summary: "pool extension header unflushed"},
+	}
+	// Group 3: API misuse with undocumented effort.
+	undocMisuse := []row{
+		{n: 940, repro: true, summary: "unit test bumps persistent stats without flush"},
+		{n: 942, repro: true, summary: "unit test updates records outside a transaction"},
+		{n: 943, repro: true, summary: "unit test flips valid flag without flush"},
+		{n: 945, repro: true, summary: "unit test fills persistent array without persist"},
+	}
+	// Group 4: API misuse with documented effort — 5 issues averaging 2
+	// commits and 15 days, with a 38-day maximum.
+	docMisuse := []row{
+		{n: 535, commits: 2, days: 10, summary: "example code misorders persist and publish"},
+		{n: 585, commits: 2, days: 38, repro: true, summary: "buffer copy published before persist"},
+		{n: 949, commits: 2, days: 9, summary: "test uses pmem_memcpy without drain"},
+		{n: 1103, commits: 2, days: 8, summary: "OID cleared without flush and fence (Listing 1)"},
+		{n: 1118, commits: 2, days: 10, summary: "test persists wrong address range"},
+	}
+	var out []Issue
+	add := func(rows []row, kind Kind, documented bool) {
+		for _, r := range rows {
+			out = append(out, Issue{
+				Number:     r.n,
+				Kind:       kind,
+				Commits:    r.commits,
+				Days:       r.days,
+				Documented: documented,
+				Reproduced: r.repro,
+				Summary:    r.summary,
+			})
+		}
+	}
+	add(undocCore, CoreBug, false)
+	add(docCore, CoreBug, true)
+	add(undocMisuse, APIMisuse, false)
+	add(docMisuse, APIMisuse, true)
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// GroupStats aggregates one Fig. 1 row.
+type GroupStats struct {
+	Label      string
+	Issues     []int
+	AvgCommits int
+	AvgDays    int
+	MaxDays    int
+	Kind       Kind
+	Documented bool
+}
+
+// Stats is the Fig. 1 table.
+type Stats struct {
+	Groups []GroupStats
+	// Overall averages across the documented issues (the paper's
+	// "Average 13 / 28 / 66" row).
+	AvgCommits int
+	AvgDays    int
+	MaxDays    int
+	Total      int
+	Reproduced int
+}
+
+// Aggregate computes the Fig. 1 aggregates from the issue records.
+func Aggregate() Stats {
+	issues := Issues()
+	groupKey := func(i Issue) int {
+		k := 0
+		if i.Kind == APIMisuse {
+			k = 2
+		}
+		if i.Documented {
+			k++
+		}
+		return k
+	}
+	byGroup := map[int][]Issue{}
+	for _, i := range issues {
+		byGroup[groupKey(i)] = append(byGroup[groupKey(i)], i)
+	}
+	var st Stats
+	st.Total = len(issues)
+	sumC, sumD, nDoc := 0, 0, 0
+	for k := 0; k < 4; k++ {
+		group := byGroup[k]
+		if len(group) == 0 {
+			continue
+		}
+		gs := GroupStats{Kind: group[0].Kind, Documented: group[0].Documented}
+		gs.Label = group[0].Kind.String()
+		c, d := 0, 0
+		for _, i := range group {
+			gs.Issues = append(gs.Issues, i.Number)
+			c += i.Commits
+			d += i.Days
+			if i.Days > gs.MaxDays {
+				gs.MaxDays = i.Days
+			}
+			if i.Reproduced {
+				st.Reproduced++
+			}
+		}
+		if gs.Documented {
+			gs.AvgCommits = int(float64(c)/float64(len(group)) + 0.5)
+			gs.AvgDays = int(float64(d)/float64(len(group)) + 0.5)
+			sumC += c
+			sumD += d
+			nDoc += len(group)
+		}
+		if gs.MaxDays > st.MaxDays {
+			st.MaxDays = gs.MaxDays
+		}
+		st.Groups = append(st.Groups, gs)
+	}
+	if nDoc > 0 {
+		st.AvgCommits = int(float64(sumC)/float64(nDoc) + 0.5)
+		st.AvgDays = int(float64(sumD)/float64(nDoc) + 0.5)
+	}
+	return st
+}
+
+// RenderIssues prints the per-issue detail table behind Fig. 1.
+func RenderIssues() string {
+	var b strings.Builder
+	b.WriteString("The 26 studied PMDK issues\n")
+	fmt.Fprintf(&b, "%-7s %-22s %8s %6s %6s  %s\n", "issue", "kind", "commits", "days", "repro", "summary")
+	for _, i := range Issues() {
+		c, d := "-", "-"
+		if i.Documented {
+			c, d = fmt.Sprint(i.Commits), fmt.Sprint(i.Days)
+		}
+		r := ""
+		if i.Reproduced {
+			r = "yes"
+		}
+		fmt.Fprintf(&b, "#%-6d %-22s %8s %6s %6s  %s\n", i.Number, i.Kind, c, d, r, i.Summary)
+	}
+	return b.String()
+}
+
+// Render prints the Fig. 1 table.
+func (st Stats) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — the 26 studied PMDK bugs\n")
+	fmt.Fprintf(&b, "%-55s %8s %8s %8s  %s\n", "Issue #s", "AvgCmts", "AvgDays", "MaxDays", "Kind")
+	for _, g := range st.Groups {
+		nums := make([]string, len(g.Issues))
+		for i, n := range g.Issues {
+			nums[i] = fmt.Sprint(n)
+		}
+		c, d, mx := "-", "-", "-"
+		if g.Documented {
+			c, d, mx = fmt.Sprint(g.AvgCommits), fmt.Sprint(g.AvgDays), fmt.Sprint(g.MaxDays)
+		}
+		fmt.Fprintf(&b, "%-55s %8s %8s %8s  %s\n", strings.Join(nums, ","), c, d, mx, g.Label)
+	}
+	fmt.Fprintf(&b, "%-55s %8d %8d %8d\n", "Average", st.AvgCommits, st.AvgDays, st.MaxDays)
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIssueCount(t *testing.T) {
+	issues := Issues()
+	if len(issues) != 26 {
+		t.Fatalf("issues = %d, want 26", len(issues))
+	}
+	seen := map[int]bool{}
+	core, misuse := 0, 0
+	for _, i := range issues {
+		if seen[i.Number] {
+			t.Errorf("duplicate issue %d", i.Number)
+		}
+		seen[i.Number] = true
+		if i.Kind == CoreBug {
+			core++
+		} else {
+			misuse++
+		}
+		if i.Summary == "" {
+			t.Errorf("issue %d lacks a summary", i.Number)
+		}
+		if i.Documented && i.Days == 0 {
+			t.Errorf("issue %d documented but no effort data", i.Number)
+		}
+	}
+	if core != 17 || misuse != 9 {
+		t.Errorf("core/misuse = %d/%d, want 17/9 (§3.1)", core, misuse)
+	}
+}
+
+func TestReproducedCount(t *testing.T) {
+	n := 0
+	for _, i := range Issues() {
+		if i.Reproduced {
+			n++
+		}
+	}
+	if n != 11 {
+		t.Errorf("reproduced issues = %d, want 11 (§6.1)", n)
+	}
+}
+
+func TestFig1Aggregates(t *testing.T) {
+	st := Aggregate()
+	if st.Total != 26 {
+		t.Errorf("total = %d", st.Total)
+	}
+	// The paper's headline numbers: 13 commits on average, 23–28 days,
+	// up to 66 days (abstract says 23 days to close on average; Fig. 1's
+	// Average row reads 13 / 28 / 66).
+	if st.AvgCommits != 13 {
+		t.Errorf("avg commits = %d, want 13", st.AvgCommits)
+	}
+	if st.AvgDays != 28 {
+		t.Errorf("avg days = %d, want 28", st.AvgDays)
+	}
+	if st.MaxDays != 66 {
+		t.Errorf("max days = %d, want 66", st.MaxDays)
+	}
+	// Group rows: documented core bugs average 17 commits / 33 days;
+	// documented API misuse 2 / 15 / 38.
+	var foundCore, foundMisuse bool
+	for _, g := range st.Groups {
+		if !g.Documented {
+			continue
+		}
+		switch g.Kind {
+		case CoreBug:
+			foundCore = true
+			if g.AvgCommits != 17 || g.AvgDays != 33 || g.MaxDays != 66 {
+				t.Errorf("core group = %d/%d/%d, want 17/33/66", g.AvgCommits, g.AvgDays, g.MaxDays)
+			}
+			if len(g.Issues) != 14 {
+				t.Errorf("documented core issues = %d, want 14", len(g.Issues))
+			}
+		case APIMisuse:
+			foundMisuse = true
+			if g.AvgCommits != 2 || g.AvgDays != 15 || g.MaxDays != 38 {
+				t.Errorf("misuse group = %d/%d/%d, want 2/15/38", g.AvgCommits, g.AvgDays, g.MaxDays)
+			}
+			if len(g.Issues) != 5 {
+				t.Errorf("documented misuse issues = %d, want 5", len(g.Issues))
+			}
+		}
+	}
+	if !foundCore || !foundMisuse {
+		t.Error("missing documented groups")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Aggregate().Render()
+	for _, want := range []string{"Fig. 1", "Average", "API misuse", "Core library", "66"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CoreBug.String() == APIMisuse.String() {
+		t.Error("kind strings must differ")
+	}
+}
+
+func TestRenderIssues(t *testing.T) {
+	out := RenderIssues()
+	for _, want := range []string{"#447", "#1103", "Listing 1", "yes", "API misuse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("per-issue table lacks %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 26+2 {
+		t.Errorf("per-issue table has %d lines, want 28", lines)
+	}
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hippocrates/internal/ir"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{Program: "sample"}
+	t.Append(&Event{
+		Kind: KindStore, Addr: 0x100000000000, Size: 8,
+		Stack: []Frame{
+			{Func: "update", InstrID: 3, Loc: ir.Loc{File: "a.pmc", Line: 12}},
+			{Func: "modify", InstrID: 1, Loc: ir.Loc{File: "a.pmc", Line: 20}},
+			{Func: "main", InstrID: 7},
+		},
+	})
+	t.Append(&Event{Kind: KindFlush, FlushK: ir.CLWB, Addr: 0x100000000000,
+		Stack: []Frame{{Func: "update", InstrID: 4, Loc: ir.Loc{File: "a.pmc", Line: 13}}}})
+	t.Append(&Event{Kind: KindNTStore, Addr: 0x100000000040, Size: 8,
+		Stack: []Frame{{Func: "main", InstrID: 9}}})
+	t.Append(&Event{Kind: KindFence, FenceK: ir.SFENCE,
+		Stack: []Frame{{Func: "main", InstrID: 10}}})
+	t.Append(&Event{Kind: KindCheckpoint,
+		Stack: []Frame{{Func: "main", InstrID: 11}}})
+	return t
+}
+
+func TestAppendAssignsSeq(t *testing.T) {
+	tr := sampleTrace()
+	for i, e := range tr.Events {
+		if e.Seq != i {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	text := tr.String()
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if back.String() != text {
+		t.Errorf("round-trip mismatch:\n%s\n----\n%s", text, back.String())
+	}
+	if back.Program != "sample" {
+		t.Errorf("program = %q", back.Program)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(back.Events), len(tr.Events))
+	}
+	e0 := back.Events[0]
+	if e0.Kind != KindStore || e0.Addr != 0x100000000000 || e0.Size != 8 {
+		t.Errorf("event 0 = %+v", e0)
+	}
+	if len(e0.Stack) != 3 || e0.Stack[1].Func != "modify" || e0.Stack[1].InstrID != 1 {
+		t.Errorf("event 0 stack = %+v", e0.Stack)
+	}
+	if e0.Stack[0].Loc != (ir.Loc{File: "a.pmc", Line: 12}) {
+		t.Errorf("event 0 loc = %v", e0.Stack[0].Loc)
+	}
+	if back.Events[1].FlushK != ir.CLWB {
+		t.Errorf("flush kind = %v", back.Events[1].FlushK)
+	}
+	if back.Events[3].FenceK != ir.SFENCE {
+		t.Errorf("fence kind = %v", back.Events[3].FenceK)
+	}
+}
+
+func TestStores(t *testing.T) {
+	tr := sampleTrace()
+	st := tr.Stores()
+	if len(st) != 2 {
+		t.Fatalf("stores = %d, want 2", len(st))
+	}
+	if st[0].Kind != KindStore || st[1].Kind != KindNTStore {
+		t.Errorf("store kinds = %v, %v", st[0].Kind, st[1].Kind)
+	}
+}
+
+func TestSite(t *testing.T) {
+	tr := sampleTrace()
+	if s := tr.Events[0].Site(); s.Func != "update" || s.InstrID != 3 {
+		t.Errorf("site = %+v", s)
+	}
+	empty := &Event{}
+	if s := empty.Site(); s.Func != "" {
+		t.Errorf("empty site = %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"no header", "#0 fence sfence"},
+		{"bad seq", "pmtrace x\n#z store addr=0x0 size=8"},
+		{"bad kind", "pmtrace x\n#0 explode"},
+		{"bad flush kind", "pmtrace x\n#0 flush clzap addr=0x10"},
+		{"bad fence kind", "pmtrace x\n#0 fence zfence"},
+		{"bad frame", "pmtrace x\n#0 fence sfence | nofunc"},
+		{"bad frame id", "pmtrace x\n#0 fence sfence | f@xy"},
+		{"bad addr", "pmtrace x\n#0 store addr=0xzz size=8"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.in); err == nil {
+				t.Error("ParseString accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestFrameStringForms(t *testing.T) {
+	f := Frame{Func: "f", InstrID: 2}
+	if f.String() != "f@2" {
+		t.Errorf("frame = %q", f.String())
+	}
+	f.Loc = ir.Loc{File: "x.pmc", Line: 9}
+	if f.String() != "f@2(x.pmc:9)" {
+		t.Errorf("frame = %q", f.String())
+	}
+	got, err := parseFrame("f@2(x.pmc:9)")
+	if err != nil || got != f {
+		t.Errorf("parseFrame = %+v, %v", got, err)
+	}
+}
+
+func TestWriteToWriter(t *testing.T) {
+	tr := sampleTrace()
+	var sb strings.Builder
+	if err := tr.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "pmtrace sample\n") {
+		t.Error("missing header")
+	}
+}
