@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet verify agreement bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# agreement runs the static/dynamic agreement harness on its own: superset
+# soundness on every corpus target and 250 generated programs, plus
+# static-driven repair leaving both detectors clean.
+agreement:
+	$(GO) test ./internal/static/ -run 'TestCorpusAgreement|TestCorpusStaticRepairBothClean|TestProgenAgreement' -v
+
+# verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
+# full suite under the race detector, and the agreement harness.
+verify: vet build
+	$(GO) test -race ./...
+	$(MAKE) agreement
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,17 +1,20 @@
 // Command pmcheck is the durability-bug finder: the repository's
 // pmemcheck. It either executes a program and checks the resulting PM
-// trace, or replays a previously saved trace.
+// trace, replays a previously saved trace, or — with -static — analyzes
+// the program without running it at all.
 //
 // Usage:
 //
 //	pmcheck [flags] program.pmc
 //	pmcheck -replay trace.pmtrace
+//	pmcheck -static program.pmc
 //
 // Flags:
 //
 //	-entry NAME    entry function (default "main")
 //	-trace FILE    also save the generated trace
 //	-replay FILE   analyze an existing trace instead of running
+//	-static        static persistency-state analysis; no execution
 //
 // Exit status is 1 when durability bugs are found.
 package main
@@ -24,6 +27,7 @@ import (
 	"hippocrates/internal/cli"
 	"hippocrates/internal/core"
 	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/static"
 	"hippocrates/internal/trace"
 )
 
@@ -31,7 +35,30 @@ func main() {
 	entry := flag.String("entry", "main", "entry function")
 	saveTrace := flag.String("trace", "", "save the generated trace to this file")
 	replay := flag.String("replay", "", "analyze an existing trace file")
+	staticMode := flag.Bool("static", false, "static persistency-state analysis instead of executing")
 	flag.Parse()
+
+	if *staticMode {
+		if *replay != "" || *saveTrace != "" || flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: pmcheck -static [-entry NAME] program.pmc")
+			os.Exit(2)
+		}
+		m, err := cli.LoadModule(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(1)
+		}
+		res, err := static.Analyze(m, *entry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Summary())
+		if !res.Clean() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tr *trace.Trace
 	var err error

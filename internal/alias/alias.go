@@ -319,6 +319,47 @@ func (a *Analysis) MayPointToNonPM(v ir.Value) bool {
 	return false
 }
 
+// MayPointToExtern reports whether v may reference the opaque extern
+// object (memory materialized through inttoptr). Clients that need sound
+// may-alias answers against PM must treat such pointers as potentially
+// reaching anything: the corpus prelude's pmem_flush computes its target
+// through a ptr→int→ptr round trip, so its points-to set is only extern.
+func (a *Analysis) MayPointToExtern(v ir.Value) bool {
+	n, ok := a.nodeOf[v]
+	if !ok {
+		return false
+	}
+	for o := range a.pts[n] {
+		if a.objects[o].Kind == ObjExtern {
+			return true
+		}
+	}
+	return false
+}
+
+// PointsToSet returns the IDs of the objects v may reference and whether
+// the analysis tracked v at all. An untracked value (known == false) must
+// be treated as possibly pointing anywhere; a tracked value with an empty
+// set provably points nowhere the module allocated.
+func (a *Analysis) PointsToSet(v ir.Value) (ids []int, known bool) {
+	n, ok := a.nodeOf[v]
+	if !ok {
+		return nil, false
+	}
+	for o := range a.pts[n] {
+		ids = append(ids, o)
+	}
+	return ids, true
+}
+
+// ObjectByID returns the abstract object with the given ID.
+func (a *Analysis) ObjectByID(id int) *Object {
+	if id < 0 || id >= len(a.objects) {
+		return nil
+	}
+	return a.objects[id]
+}
+
 // Pointers returns every pointer value the analysis tracked.
 func (a *Analysis) Pointers() []ir.Value {
 	return append([]ir.Value(nil), a.values...)

@@ -217,7 +217,12 @@ func Repair(mod *ir.Module, tr *trace.Trace, res *pmcheck.Result, opts Options) 
 func (fx *Fixer) Result() *Result { return fx.result }
 
 // Apply computes fixes for the reports (phases 1–3) and applies them.
+// Reports sharing a store site and bug class are merged first: a hot loop
+// that drives one buggy store through many dynamic violations (or several
+// call chains needing the same mechanisms) reaches the planner once, with
+// the stack union preserved for the hoisting heuristic.
 func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
+	reports = pmcheck.DedupeByClass(reports)
 	plans := make([]*plan, 0, len(reports))
 	for _, rep := range reports {
 		p, err := fx.plan(rep)

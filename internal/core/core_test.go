@@ -713,3 +713,79 @@ func TestFixStringsAndKinds(t *testing.T) {
 	_ = pmem.LineSize // keep import stable if assertions change
 	_ = pmcheck.SiteKey{}
 }
+
+// buildHotLoop stores to one PM location and hits a durability point on
+// every iteration: one static bug observed N times dynamically.
+func buildHotLoop(n int64) *ir.Module {
+	m := newModule("hotloop")
+	m.AddGlobal(&ir.Global{Name: "cell", Elem: ir.I64, PM: true})
+	f := ir.NewFunc("main", ir.Void)
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	b.SetLoc(ir.Loc{File: "hotloop.pmc", Line: 2})
+	i := b.Alloca(ir.I64)
+	b.Store(ir.I64, ir.ConstInt(0), i)
+	cond := b.NewBlock("cond")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Jmp(cond)
+	b.SetBlock(cond)
+	iv := b.Load(ir.I64, i)
+	b.Br(b.Cmp(ir.OpLt, iv, ir.ConstInt(n)), body, exit)
+	b.SetBlock(body)
+	b.SetLoc(ir.Loc{File: "hotloop.pmc", Line: 4})
+	b.Store(ir.I64, iv, m.Global("cell"))
+	b.Call(m.Func("pm_checkpoint"))
+	b.Store(ir.I64, b.Bin(ir.OpAdd, ir.I64, iv, ir.ConstInt(1)), i)
+	b.Jmp(cond)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	f.Renumber()
+	return m
+}
+
+// TestHotLoopDuplicateReportsFixedOnce is the dedupe regression: a store in
+// a hot loop violates at every iteration, and feeding the fixer several
+// detector passes worth of reports (as report-combining drivers do) must
+// still produce exactly one fix — not one flush/fence pair per observation.
+func TestHotLoopDuplicateReportsFixedOnce(t *testing.T) {
+	const iters = 10
+	m := buildHotLoop(iters)
+	tr, err := TraceModule(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := checkTrace(tr)
+	// iters violations at the in-loop checkpoint plus one more for the
+	// final store at the end-of-program durability point.
+	if len(res.Reports) != 1 || res.Reports[0].Occurrences != iters+1 {
+		t.Fatalf("reports = %+v, want one with %d occurrences", res.Reports, iters+1)
+	}
+
+	// Three detector passes over the same trace: 3x duplicate reports.
+	combined := append(append(checkTrace(tr).Reports, checkTrace(tr).Reports...), res.Reports...)
+	fx := NewFixer(m, tr, Options{})
+	if err := fx.Apply(combined); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fx.Result().Fixes); got != 1 {
+		t.Fatalf("fixes = %d, want 1 (duplicates merged before planning)", got)
+	}
+
+	tr2, err := TraceModule(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := checkTrace(tr2)
+	if !after.Clean() {
+		t.Fatalf("not clean after repair:\n%s", after.Summary())
+	}
+	// One flush and one fence per iteration suffice: duplicate-driven
+	// double insertion would show up as redundant-flush diagnostics.
+	if n := len(after.RedundantFlushes); n != 0 {
+		t.Errorf("redundant flushes after repair = %d, want 0", n)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}

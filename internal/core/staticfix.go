@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/static"
+	"hippocrates/internal/trace"
+)
+
+// StaticPipelineResult is the outcome of a static-analysis-driven repair.
+type StaticPipelineResult struct {
+	// Before is the static analysis of the module as given.
+	Before *static.Result
+	// Fix describes the applied fixes (nil when Before was already clean).
+	Fix *Result
+	// After re-analyzes the repaired module; a sound fix leaves it clean.
+	After *static.Result
+}
+
+// StaticRepair runs the repair pipeline with the static persistency
+// analysis as the bug source instead of a dynamic trace: analyze the entry,
+// convert the reports into the detector's shape, plan and apply fixes, then
+// re-analyze to validate. The fixer runs on whole-program alias facts
+// (Full-AA): with no trace there is nothing for Trace-AA to refine, so a
+// TraceAA request is overridden.
+func StaticRepair(mod *ir.Module, entry string, opts Options) (*StaticPipelineResult, error) {
+	sres, err := static.Analyze(mod, entry)
+	if err != nil {
+		return nil, err
+	}
+	out := &StaticPipelineResult{Before: sres}
+	if sres.Clean() {
+		out.After = sres
+		return out, nil
+	}
+	opts.Marks = FullAA
+	fx := NewFixer(mod, &trace.Trace{Program: mod.Name}, opts)
+	if err := fx.Apply(sres.PMCheckReports()); err != nil {
+		return nil, fmt.Errorf("static repair: %w", err)
+	}
+	out.Fix = fx.Result()
+	after, err := static.Analyze(mod, entry)
+	if err != nil {
+		return nil, fmt.Errorf("static repair re-analysis: %w", err)
+	}
+	out.After = after
+	return out, nil
+}

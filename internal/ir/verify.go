@@ -97,6 +97,12 @@ func verifyInstr(f *Func, in *Instr) error {
 		}
 		return nil
 	}
+	noResult := func() error {
+		if in.HasResult() {
+			return fmt.Errorf("%s must not produce a result", in.Op)
+		}
+		return nil
+	}
 	switch in.Op {
 	case OpAlloca:
 		if in.AllocTy == nil || in.AllocTy.Size() <= 0 {
@@ -113,6 +119,9 @@ func verifyInstr(f *Func, in *Instr) error {
 		return ptrArg(0)
 	case OpStore, OpNTStore:
 		if err := want(2); err != nil {
+			return err
+		}
+		if err := noResult(); err != nil {
 			return err
 		}
 		if !TypeEqual(in.Args[0].Type(), in.StoreTy) {
@@ -180,9 +189,24 @@ func verifyInstr(f *Func, in *Instr) error {
 		if err := want(1); err != nil {
 			return err
 		}
+		if err := noResult(); err != nil {
+			return err
+		}
+		if in.FlushK < CLWB || in.FlushK > CLFLUSH {
+			return fmt.Errorf("invalid flush kind %s", in.FlushK)
+		}
 		return ptrArg(0)
 	case OpFence:
-		return want(0)
+		if err := want(0); err != nil {
+			return err
+		}
+		if err := noResult(); err != nil {
+			return err
+		}
+		if in.FenceK != SFENCE && in.FenceK != MFENCE {
+			return fmt.Errorf("invalid fence kind %s", in.FenceK)
+		}
+		return nil
 	default:
 		switch {
 		case in.Op.IsBinary():

@@ -239,6 +239,130 @@ func Check(t *trace.Trace) *Result {
 	return res
 }
 
+// Needs records which durability mechanisms a store site lacks, with the
+// bug classes decomposed into their mechanism components (missing-flush&fence
+// sets both). Detectors that aggregate differently across call stacks and
+// durability points — the dynamic checker unions class flags per (site,
+// stack), a static checker per CFG path — still agree on this shape, so it
+// is the unit of the static/dynamic agreement harness.
+type Needs struct {
+	Flush bool
+	Fence bool
+}
+
+// Covers reports whether n provides at least everything o needs.
+func (n Needs) Covers(o Needs) bool {
+	return (n.Flush || !o.Flush) && (n.Fence || !o.Fence)
+}
+
+func (n Needs) String() string {
+	switch {
+	case n.Flush && n.Fence:
+		return "flush+fence"
+	case n.Flush:
+		return "flush"
+	case n.Fence:
+		return "fence"
+	}
+	return "none"
+}
+
+// NeedsBySite folds the reports into per-site mechanism needs.
+func (res *Result) NeedsBySite() map[SiteKey]Needs {
+	out := make(map[SiteKey]Needs, len(res.Reports))
+	for _, r := range res.Reports {
+		n := out[r.Key()]
+		n.Flush = n.Flush || r.NeedFlush
+		n.Fence = n.Fence || r.NeedFence
+		out[r.Key()] = n
+	}
+	return out
+}
+
+// DedupeByClass merges duplicate reports of one (store site, bug class)
+// observation into one, so a hot loop that drives the same buggy store
+// through N dynamic violations reaches the fixer once. The merged report
+// keeps the earliest representative store, sums occurrences, and unions
+// stacks, checkpoints, and flush sites. Two reports stay separate when
+// their bug classes differ (they need different fixes) or when they were
+// reached through different call-chain sets: each chain may need its own,
+// differently hoisted fix, and collapsing them would artificially cap the
+// hoisting heuristic at the chains' common call suffix (defeating §4.2.4
+// clone reuse).
+func DedupeByClass(reports []*Report) []*Report {
+	type key struct {
+		site   SiteKey
+		flush  bool
+		fence  bool
+		stacks string
+	}
+	stacksKeyOf := func(r *Report) string {
+		keys := make([]string, 0, len(r.Stacks))
+		for _, s := range r.Stacks {
+			keys = append(keys, stackKey(s))
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "|")
+	}
+	merged := make(map[key]*Report)
+	var order []key
+	for _, r := range reports {
+		k := key{site: r.Key(), flush: r.NeedFlush, fence: r.NeedFence, stacks: stacksKeyOf(r)}
+		m := merged[k]
+		if m == nil {
+			cp := *r
+			cp.Stacks = append([][]trace.Frame(nil), r.Stacks...)
+			cp.Checkpoints = append([]*trace.Event(nil), r.Checkpoints...)
+			cp.FlushSites = append([]trace.Frame(nil), r.FlushSites...)
+			merged[k] = &cp
+			order = append(order, k)
+			continue
+		}
+		if r.Store.Seq < m.Store.Seq {
+			m.Store = r.Store
+		}
+		m.Occurrences += r.Occurrences
+		seenStack := make(map[string]bool, len(m.Stacks))
+		for _, s := range m.Stacks {
+			seenStack[stackKey(s)] = true
+		}
+		for _, s := range r.Stacks {
+			if !seenStack[stackKey(s)] {
+				seenStack[stackKey(s)] = true
+				m.Stacks = append(m.Stacks, s)
+			}
+		}
+		seenCkpt := make(map[SiteKey]bool, len(m.Checkpoints))
+		for _, c := range m.Checkpoints {
+			seenCkpt[SiteKey{Func: c.Site().Func, InstrID: c.Site().InstrID}] = true
+		}
+		for _, c := range r.Checkpoints {
+			ck := SiteKey{Func: c.Site().Func, InstrID: c.Site().InstrID}
+			if !seenCkpt[ck] {
+				seenCkpt[ck] = true
+				m.Checkpoints = append(m.Checkpoints, c)
+			}
+		}
+		seenFlush := make(map[SiteKey]bool, len(m.FlushSites))
+		for _, f := range m.FlushSites {
+			seenFlush[SiteKey{Func: f.Func, InstrID: f.InstrID}] = true
+		}
+		for _, f := range r.FlushSites {
+			fk := SiteKey{Func: f.Func, InstrID: f.InstrID}
+			if !seenFlush[fk] {
+				seenFlush[fk] = true
+				m.FlushSites = append(m.FlushSites, f)
+			}
+		}
+	}
+	out := make([]*Report, 0, len(order))
+	for _, k := range order {
+		out = append(out, merged[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Store.Seq < out[j].Store.Seq })
+	return out
+}
+
 // stackKey renders a stack as a deduplication key.
 func stackKey(stack []trace.Frame) string {
 	var b strings.Builder

@@ -231,3 +231,88 @@ func TestLateFixStillReportedOnce(t *testing.T) {
 		t.Errorf("occurrences = %d, want 1", res.Reports[0].Occurrences)
 	}
 }
+
+func TestDedupeByClassMergesDuplicates(t *testing.T) {
+	// Two detector passes over the same execution (e.g. a re-run of a hot
+	// loop) produce equal reports for the one buggy site. DedupeByClass
+	// must fold them into a single report the fixer sees once.
+	tr := mkTrace(
+		store(pm, "f", 1),
+		ev(trace.KindCheckpoint, "f", 9),
+	)
+	combined := append(Check(tr).Reports, Check(tr).Reports...)
+	out := DedupeByClass(combined)
+	if len(out) != 1 {
+		t.Fatalf("reports after dedupe = %d, want 1", len(out))
+	}
+	if out[0].Occurrences != 2 {
+		t.Errorf("occurrences = %d, want 2 (summed)", out[0].Occurrences)
+	}
+	if len(out[0].Checkpoints) != 1 {
+		t.Errorf("checkpoints = %d, want 1 (unioned by site)", len(out[0].Checkpoints))
+	}
+	if len(out[0].Stacks) != 1 {
+		t.Errorf("stacks = %d, want 1 (unioned by key)", len(out[0].Stacks))
+	}
+}
+
+func TestDedupeByClassKeepsDistinctClasses(t *testing.T) {
+	// The same site missing flush+fence at one durability point and only a
+	// fence at another (after a fence-carrying re-run) needs different
+	// mechanisms: the reports must stay separate.
+	full := Check(mkTrace(
+		store(pm, "f", 1),
+		ev(trace.KindCheckpoint, "f", 9),
+	)).Reports
+	fenceOnly := Check(mkTrace(
+		store(pm, "f", 1),
+		flush(pm, "f", 2),
+		ev(trace.KindCheckpoint, "f", 9),
+	)).Reports
+	out := DedupeByClass(append(full, fenceOnly...))
+	if len(out) != 2 {
+		t.Fatalf("reports after dedupe = %d, want 2 (distinct bug classes)", len(out))
+	}
+}
+
+func TestDedupeByClassKeepsDistinctStackSets(t *testing.T) {
+	// One buggy site reached through two different call chains: each chain
+	// may need its own (differently hoisted) fix, so the reports must not
+	// be collapsed even though site and class agree.
+	viaA := store(pm, "f", 1)
+	viaA.Stack = append(viaA.Stack, trace.Frame{Func: "a", InstrID: 4})
+	viaB := store(pm+64, "f", 1)
+	viaB.Stack = append(viaB.Stack, trace.Frame{Func: "b", InstrID: 5})
+	reports := Check(mkTrace(
+		viaA,
+		viaB,
+		ev(trace.KindCheckpoint, "main", 9),
+	)).Reports
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2 (one per chain)", len(reports))
+	}
+	out := DedupeByClass(reports)
+	if len(out) != 2 {
+		t.Fatalf("reports after dedupe = %d, want 2 (chains preserved)", len(out))
+	}
+}
+
+func TestDedupeByClassKeepsEarliestStore(t *testing.T) {
+	tr := mkTrace(
+		store(pm, "f", 1),
+		ev(trace.KindCheckpoint, "f", 9),
+		store(pm, "f", 1),
+		ev(trace.KindCheckpoint, "f", 9),
+	)
+	// Force one copy's representative to the later store instance: the
+	// merge must still settle on the earliest store event.
+	late := Check(tr).Reports
+	late[0].Store = tr.Events[2]
+	out := DedupeByClass(append(late, Check(tr).Reports...))
+	if len(out) != 1 {
+		t.Fatalf("reports after dedupe = %d, want 1", len(out))
+	}
+	if out[0].Store.Seq != 0 {
+		t.Errorf("representative store seq = %d, want 0 (earliest)", out[0].Store.Seq)
+	}
+}

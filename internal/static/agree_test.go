@@ -1,0 +1,174 @@
+package static_test
+
+import (
+	"testing"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/corpus"
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/progen"
+	"hippocrates/internal/static"
+)
+
+// requireSuperset asserts the tentpole soundness contract: every store
+// site the dynamic detector reports appears in the static reports with
+// mechanism needs that cover the dynamic ones. It returns the number of
+// extra (false-positive) static sites, which the caller logs as the FP
+// gap.
+func requireSuperset(t *testing.T, sres *static.Result, dyn *pmcheck.Result) int {
+	t.Helper()
+	sneeds := sres.NeedsBySite()
+	for site, dn := range dyn.NeedsBySite() {
+		sn, ok := sneeds[site]
+		if !ok {
+			t.Errorf("dynamic site %s@%d (%s) missing from static reports", site.Func, site.InstrID, dn)
+			continue
+		}
+		if !sn.Covers(dn) {
+			t.Errorf("site %s@%d: static needs %s do not cover dynamic %s", site.Func, site.InstrID, sn, dn)
+		}
+	}
+	return sres.UniqueSites() - dyn.UniqueSites()
+}
+
+// TestCorpusAgreement runs the static analysis against every corpus
+// program — the paper's buggy targets, their fixed baselines, the redis
+// variants, and the nvtree/pmlog extensions — and asserts superset
+// soundness site by site, logging the false-positive gap.
+func TestCorpusAgreement(t *testing.T) {
+	for _, p := range corpus.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			m := p.MustCompile()
+			tr, err := core.TraceModule(m, p.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dyn := pmcheck.Check(tr)
+			sres, err := static.Analyze(m, p.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gap := requireSuperset(t, sres, dyn)
+			t.Logf("static %d site(s), dynamic %d site(s), FP gap %d",
+				sres.UniqueSites(), dyn.UniqueSites(), gap)
+		})
+	}
+}
+
+// TestCorpusStaticRepairBothClean is the repair half of the agreement
+// harness: driving the fixer from static reports must leave BOTH
+// detectors clean on every corpus program, and must not change the
+// program's result (do no harm).
+func TestCorpusStaticRepairBothClean(t *testing.T) {
+	for _, p := range corpus.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			m := p.MustCompile()
+			res, err := core.StaticRepair(m, p.Entry, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.After.Clean() {
+				t.Errorf("static re-analysis not clean after static-driven repair:\n%s", res.After.Summary())
+			}
+			tr, err := core.TraceModule(m, p.Entry)
+			if err != nil {
+				t.Fatalf("repaired module failed to run: %v", err)
+			}
+			if dyn := pmcheck.Check(tr); !dyn.Clean() {
+				t.Errorf("dynamic detector not clean after static-driven repair:\n%s", dyn.Summary())
+			}
+			mach, err := interp.New(m, interp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ret, err := mach.Run(p.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ret != p.WantRet {
+				t.Errorf("repaired %s returned %d, want %d (repair did harm)", p.Entry, ret, p.WantRet)
+			}
+		})
+	}
+}
+
+// progenSeeds is the number of random programs the generator-based
+// agreement sweep covers.
+const progenSeeds = 250
+
+// TestProgenAgreement sweeps generated programs: static must stay a
+// superset of dynamic on each, and the static-driven repair must leave
+// both detectors clean without changing the program's checksum.
+func TestProgenAgreement(t *testing.T) {
+	totalGap, maxGap := 0, 0
+	for seed := int64(0); seed < progenSeeds; seed++ {
+		m := progen.Generate(seed, progen.DefaultConfig())
+		tr, err := core.TraceModule(m, "main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dyn := pmcheck.Check(tr)
+		sres, err := static.Analyze(m, "main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sneeds := sres.NeedsBySite()
+		for site, dn := range dyn.NeedsBySite() {
+			sn, ok := sneeds[site]
+			if !ok {
+				t.Errorf("seed %d: dynamic site %s@%d (%s) missing from static reports", seed, site.Func, site.InstrID, dn)
+				continue
+			}
+			if !sn.Covers(dn) {
+				t.Errorf("seed %d: site %s@%d: static needs %s do not cover dynamic %s", seed, site.Func, site.InstrID, sn, dn)
+			}
+		}
+		gap := sres.UniqueSites() - dyn.UniqueSites()
+		totalGap += gap
+		if gap > maxGap {
+			maxGap = gap
+		}
+
+		// Do-no-harm on the static-driven repair: same checksum, both
+		// detectors clean.
+		mach, err := interp.New(m, interp.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := mach.Run("main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := core.StaticRepair(m, "main", core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: static repair: %v", seed, err)
+		}
+		if !res.After.Clean() {
+			t.Errorf("seed %d: static re-analysis not clean:\n%s", seed, res.After.Summary())
+		}
+		rtr, err := core.TraceModule(m, "main")
+		if err != nil {
+			t.Fatalf("seed %d: repaired module failed to run: %v", seed, err)
+		}
+		if rdyn := pmcheck.Check(rtr); !rdyn.Clean() {
+			t.Errorf("seed %d: dynamic detector not clean after static repair:\n%s", seed, rdyn.Summary())
+		}
+		mach2, err := interp.New(m, interp.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := mach2.Run("main")
+		if err != nil {
+			t.Fatalf("seed %d: repaired run: %v", seed, err)
+		}
+		if got != want {
+			t.Errorf("seed %d: checksum changed %d -> %d (repair did harm)", seed, want, got)
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Errorf("seed %d: repaired module fails verification: %v", seed, err)
+		}
+	}
+	t.Logf("%d seeds: total FP gap %d site(s), max per-program %d", progenSeeds, totalGap, maxGap)
+}

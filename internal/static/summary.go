@@ -1,0 +1,280 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/trace"
+)
+
+// summary is the bottom-up interprocedural abstraction of one function:
+// everything a caller must know to push its own facts through a call and
+// to adopt the callee's still-undurable stores.
+type summary struct {
+	fn *ir.Func
+
+	// fenceMay: some path through the function may execute a fence.
+	// fenceMust: every path from entry to return executes a fence (directly
+	// or through a callee whose fenceMust holds). A must-fence removes the
+	// dirty-unfenced possibility from every caller fact; a may-fence only
+	// widens the possible-state set.
+	fenceMay  bool
+	fenceMust bool
+
+	// flushes are the weakly-ordered flush effects visible to callers (own
+	// flushes, flush_range calls, and inherited callee effects). Strongly
+	// ordered CLFLUSHes are omitted: through a call they are only a may-
+	// commit, which cannot add a state a caller must track.
+	flushes []flushEffect
+
+	// ckpts are the relative call chains (innermost first, ending at this
+	// function's frame-producing call) to every reachable durability point.
+	ckpts map[string][]trace.Frame
+
+	// exit are the function's own (and adopted callee) facts still possibly
+	// undurable at return, with their state sets merged over all returns.
+	exit map[*fact]stateBits
+
+	// reports are durability violations rooted at this function's facts,
+	// with relative stacks; they become absolute when instantiated up the
+	// call graph to the entry.
+	reports map[string]*report
+
+	// lints are function-local performance diagnostics.
+	lints []*Lint
+}
+
+// flushEffect is one may-flush a caller observes through a call.
+type flushEffect struct {
+	objs map[int]bool
+	all  bool
+	site trace.Frame
+}
+
+// covers reports whether the effect may cover the fact's cache line(s).
+func (fe *flushEffect) covers(f *fact) bool {
+	if fe.all || f.anyObj {
+		return true
+	}
+	for o := range fe.objs {
+		if f.objs[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// report accumulates the violations of one fact (one store site reached
+// through one call chain), with mechanism flags unioned across durability
+// points exactly as the dynamic detector unions bug classes per (site,
+// stack).
+type report struct {
+	stack      []trace.Frame
+	op         ir.Op
+	size       int64
+	nt         bool
+	needFlush  bool
+	needFence  bool
+	ckpts      map[string][]trace.Frame
+	flushSites map[pmcheck.SiteKey]trace.Frame
+}
+
+func newSummary(fn *ir.Func) *summary {
+	return &summary{
+		fn:      fn,
+		ckpts:   make(map[string][]trace.Frame),
+		exit:    make(map[*fact]stateBits),
+		reports: make(map[string]*report),
+	}
+}
+
+func (s *summary) addCkpt(chain []trace.Frame) {
+	k := stackKey(chain)
+	if _, ok := s.ckpts[k]; !ok {
+		s.ckpts[k] = chain
+	}
+}
+
+func (s *summary) addFlushEffect(fe flushEffect) {
+	k := pmcheck.SiteKey{Func: fe.site.Func, InstrID: fe.site.InstrID}
+	for _, have := range s.flushes {
+		if (pmcheck.SiteKey{Func: have.site.Func, InstrID: have.site.InstrID}) == k {
+			return
+		}
+	}
+	s.flushes = append(s.flushes, fe)
+}
+
+// mergeReport folds one observation (fact f in states bits at the given
+// relative checkpoint chain) into the summary's report map.
+func (s *summary) mergeReport(f *fact, bits stateBits, ckpt []trace.Frame) {
+	if bits == 0 {
+		return
+	}
+	k := stackKey(f.stack)
+	r := s.reports[k]
+	if r == nil {
+		r = &report{
+			stack:      f.stack,
+			op:         f.op,
+			size:       f.size,
+			nt:         f.nt,
+			ckpts:      make(map[string][]trace.Frame),
+			flushSites: make(map[pmcheck.SiteKey]trace.Frame),
+		}
+		s.reports[k] = r
+	}
+	n := bits.needs()
+	r.needFlush = r.needFlush || n.Flush
+	r.needFence = r.needFence || n.Fence
+	ck := stackKey(ckpt)
+	if _, ok := r.ckpts[ck]; !ok {
+		r.ckpts[ck] = ckpt
+	}
+	for k, fr := range f.flushSites {
+		if _, ok := r.flushSites[k]; !ok {
+			r.flushSites[k] = fr
+		}
+	}
+}
+
+// signature fingerprints the summary for SCC fixpoint detection: it covers
+// every field that can influence callers.
+func (s *summary) signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "may=%v must=%v;", s.fenceMay, s.fenceMust)
+	sites := make([]string, 0, len(s.flushes))
+	for _, fe := range s.flushes {
+		sites = append(sites, fmt.Sprintf("%s@%d/%v/%d", fe.site.Func, fe.site.InstrID, fe.all, len(fe.objs)))
+	}
+	sort.Strings(sites)
+	b.WriteString(strings.Join(sites, ","))
+	b.WriteByte(';')
+	keys := make([]string, 0, len(s.ckpts))
+	for k := range s.ckpts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString(strings.Join(keys, ","))
+	b.WriteByte(';')
+	exits := make([]string, 0, len(s.exit))
+	for f, bits := range s.exit {
+		exits = append(exits, fmt.Sprintf("%s=%d/%d", f.key, bits, len(f.flushSites)))
+	}
+	sort.Strings(exits)
+	b.WriteString(strings.Join(exits, ","))
+	b.WriteByte(';')
+	reps := make([]string, 0, len(s.reports))
+	for k, r := range s.reports {
+		reps = append(reps, fmt.Sprintf("%s=%v/%v/%d/%d", k, r.needFlush, r.needFence, len(r.ckpts), len(r.flushSites)))
+	}
+	sort.Strings(reps)
+	b.WriteString(strings.Join(reps, ","))
+	return b.String()
+}
+
+// callGraph builds the defined-function call graph restricted to functions
+// reachable from entry. Calls are direct (the IR has no indirect calls), so
+// the graph is exact.
+func callGraph(entry *ir.Func) (nodes []*ir.Func, succs map[*ir.Func][]*ir.Func) {
+	succs = make(map[*ir.Func][]*ir.Func)
+	seen := map[*ir.Func]bool{entry: true}
+	work := []*ir.Func{entry}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		nodes = append(nodes, fn)
+		var out []*ir.Func
+		dedup := map[*ir.Func]bool{}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.Callee.IsDecl() || dedup[in.Callee] {
+					continue
+				}
+				dedup[in.Callee] = true
+				out = append(out, in.Callee)
+				if !seen[in.Callee] {
+					seen[in.Callee] = true
+					work = append(work, in.Callee)
+				}
+			}
+		}
+		succs[fn] = out
+	}
+	return nodes, succs
+}
+
+// sccOrder returns the strongly connected components of the call graph in
+// reverse topological order (callees before callers), via Tarjan's
+// algorithm (iterative to keep deep call chains off the Go stack).
+func sccOrder(nodes []*ir.Func, succs map[*ir.Func][]*ir.Func) [][]*ir.Func {
+	index := make(map[*ir.Func]int)
+	low := make(map[*ir.Func]int)
+	onStack := make(map[*ir.Func]bool)
+	var stack []*ir.Func
+	var sccs [][]*ir.Func
+	next := 0
+
+	type frame struct {
+		fn *ir.Func
+		i  int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{fn: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			fn := fr.fn
+			if fr.i == 0 {
+				index[fn] = next
+				low[fn] = next
+				next++
+				stack = append(stack, fn)
+				onStack[fn] = true
+			}
+			advanced := false
+			for fr.i < len(succs[fn]) {
+				w := succs[fn][fr.i]
+				fr.i++
+				if _, ok := index[w]; !ok {
+					work = append(work, frame{fn: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[fn] {
+					low[fn] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// fn is done.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].fn
+				if low[fn] < low[parent] {
+					low[parent] = low[fn]
+				}
+			}
+			if low[fn] == index[fn] {
+				var scc []*ir.Func
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == fn {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
