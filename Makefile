@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench
+.PHONY: build test vet verify agreement bench metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,23 @@ test:
 agreement:
 	$(GO) test ./internal/static/ -run 'TestCorpusAgreement|TestCorpusStaticRepairBothClean|TestProgenAgreement' -v
 
+# metrics-smoke repairs testdata/metrics_smoke.pmc with every telemetry
+# flag on and validates the exported JSON against the schemas checked in
+# under internal/obs/schema/ (plus pipeline-coverage and fix-count checks
+# in TestValidateSmokeArtifacts).
+metrics-smoke:
+	@dir=$$(mktemp -d) && \
+	$(GO) run ./cmd/hippocrates -metrics $$dir/metrics.json -spans $$dir/spans.json -audit testdata/metrics_smoke.pmc >$$dir/out.txt && \
+	OBS_SMOKE_DIR=$$dir $(GO) test ./internal/obs/ -run TestValidateSmokeArtifacts -count=1; \
+	status=$$?; rm -rf $$dir; exit $$status
+
 # verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
-# full suite under the race detector, and the agreement harness.
+# full suite under the race detector, the agreement harness, and the
+# telemetry smoke test.
 verify: vet build
 	$(GO) test -race ./...
 	$(MAKE) agreement
+	$(MAKE) metrics-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

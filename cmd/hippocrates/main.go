@@ -19,6 +19,13 @@
 //	-show-scores      print the heuristic's candidate scores
 //	-diff             print a line diff of the repaired IR
 //	-flush KIND       inserted flush flavour: clwb (default) | clflushopt | clflush
+//	-metrics FILE     write counters/histograms/phase timings as JSON
+//	-spans FILE       write the span tree as Chrome trace_event JSON
+//	-audit            print the repair audit trail
+//
+// Every run ends with a one-line phase-timing summary; telemetry is
+// always recorded here (the cost is a handful of phase-level spans) and
+// the flags only select what gets exported.
 //
 // Exit status is 1 on failure to repair.
 package main
@@ -31,6 +38,7 @@ import (
 	"hippocrates/internal/cli"
 	"hippocrates/internal/core"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
 )
 
@@ -44,20 +52,32 @@ func main() {
 	showScores := flag.Bool("show-scores", false, "print heuristic candidate scores")
 	showDiff := flag.Bool("diff", false, "print a line diff of the repaired IR")
 	flushKind := flag.String("flush", "clwb", "inserted flush flavour: clwb | clflushopt | clflush")
+	var obsFlags cli.ObsFlags
+	obsFlags.Register()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hippocrates [flags] program.pmc")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *intraOnly, *showFixes, *showScores, *showDiff); err != nil {
+	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *intraOnly, *showFixes, *showScores, *showDiff, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hippocrates:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFixes, showScores, showDiff bool) error {
-	mod, err := cli.LoadModule(path)
+func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFixes, showScores, showDiff bool, obsFlags cli.ObsFlags) error {
+	// The recorder is always on: the default end-of-run summary needs the
+	// phase timings, and a CLI run only creates phase-level spans.
+	rec := obs.New()
+	if obsFlags.MetricsPath != "" {
+		rec.SetTrackAllocs(true)
+	}
+	root := rec.StartSpan("pipeline")
+	root.SetAttr("program", path)
+	root.SetAttr("entry", entry)
+
+	mod, err := cli.LoadModuleObs(path, root)
 	if err != nil {
 		return err
 	}
@@ -65,7 +85,7 @@ func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFi
 	if showDiff {
 		before = ir.Print(mod)
 	}
-	opts := core.Options{DisableHoisting: intraOnly}
+	opts := core.Options{DisableHoisting: intraOnly, Obs: root}
 	switch flushKind {
 	case "clwb":
 		opts.FlushKind = ir.CLWB
@@ -94,7 +114,7 @@ func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFi
 		if err != nil {
 			return err
 		}
-		check := pmcheck.Check(tr)
+		check := pmcheck.CheckObs(root, tr)
 		res = &core.PipelineResult{Trace: tr, Before: check}
 		if check.Clean() {
 			res.After = check
@@ -104,11 +124,14 @@ func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFi
 				return err
 			}
 			res.Fix = fixRes
-			tr2, err := core.TraceModule(mod, entry)
+			rsp := root.Start("revalidate")
+			tr2, err := core.TraceModuleObs(rsp, mod, entry)
 			if err != nil {
+				rsp.End()
 				return err
 			}
-			res.After = pmcheck.Check(tr2)
+			res.After = pmcheck.CheckObs(rsp, tr2)
+			rsp.End()
 		}
 	} else {
 		res, err = core.RunAndRepair(mod, entry, opts)
@@ -136,17 +159,28 @@ func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFi
 		fmt.Println("hippocrates: repair diff:")
 		fmt.Print(cli.DiffLines(before, ir.Print(mod)))
 	}
+	repairErr := error(nil)
 	if res.Fixed() {
 		fmt.Println("hippocrates: repaired module is clean under the bug finder")
 	} else {
 		fmt.Print(res.After.Summary())
-		return fmt.Errorf("repair incomplete")
+		repairErr = fmt.Errorf("repair incomplete")
 	}
-	if out != "" {
+	if out != "" && repairErr == nil {
 		if err := cli.WriteModule(mod, out); err != nil {
 			return err
 		}
 		fmt.Printf("hippocrates: wrote repaired module to %s\n", out)
 	}
-	return nil
+
+	root.End()
+	fixes := 0
+	if res.Fix != nil {
+		fixes = len(res.Fix.Fixes)
+	}
+	fmt.Printf("hippocrates: summary: %s | %d fix(es)\n", cli.PhaseSummary(rec), fixes)
+	if err := obsFlags.Finish(rec, os.Stdout); err != nil {
+		return err
+	}
+	return repairErr
 }

@@ -15,6 +15,19 @@
 //	-trace FILE    also save the generated trace
 //	-replay FILE   analyze an existing trace instead of running
 //	-static        static persistency-state analysis; no execution
+//	-metrics FILE  write counters/histograms/phase timings as JSON
+//	-spans FILE    write the span tree as Chrome trace_event JSON
+//	-audit         print the repair audit trail
+//
+// -replay analyzes a trace with no program: it cannot honor -entry, a
+// positional program argument, or -audit, and rejects those combinations
+// instead of silently ignoring them. (-static does honor -entry: it
+// selects the analysis root.)
+//
+// When an observability flag is set and bugs are found, pmcheck runs the
+// repair pipeline on the in-memory module — never writing it anywhere —
+// so the exported spans and audit trail cover the full
+// parse→trace→detect→plan→apply→revalidate tree, not just detection.
 //
 // Exit status is 1 when durability bugs are found.
 package main
@@ -26,6 +39,7 @@ import (
 
 	"hippocrates/internal/cli"
 	"hippocrates/internal/core"
+	"hippocrates/internal/ir"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/static"
 	"hippocrates/internal/trace"
@@ -36,24 +50,71 @@ func main() {
 	saveTrace := flag.String("trace", "", "save the generated trace to this file")
 	replay := flag.String("replay", "", "analyze an existing trace file")
 	staticMode := flag.Bool("static", false, "static persistency-state analysis instead of executing")
+	var obsFlags cli.ObsFlags
+	obsFlags.Register()
 	flag.Parse()
+
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(2)
+	}
+	if *replay != "" {
+		// A replayed trace carries no program, so flags that select or
+		// inspect one cannot be honored; reject them rather than letting
+		// them pass without effect (mirroring the -static checks below).
+		entrySet := false
+		flag.Visit(func(f *flag.Flag) { entrySet = entrySet || f.Name == "entry" })
+		switch {
+		case *staticMode:
+			usage("pmcheck: -replay and -static are mutually exclusive")
+		case entrySet:
+			usage("pmcheck: -replay analyzes a saved trace; -entry has no effect (drop it)")
+		case flag.NArg() > 0:
+			usage("pmcheck: -replay takes no program argument (got " + flag.Arg(0) + ")")
+		case obsFlags.Audit:
+			usage("pmcheck: -audit needs the program to repair; it cannot be combined with -replay")
+		}
+	}
+
+	rec := obsFlags.NewRecorder()
+	root := rec.StartSpan("pmcheck")
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pmcheck:", err)
+		os.Exit(1)
+	}
+	finish := func() {
+		root.End()
+		if err := obsFlags.Finish(rec, os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 
 	if *staticMode {
 		if *replay != "" || *saveTrace != "" || flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: pmcheck -static [-entry NAME] program.pmc")
-			os.Exit(2)
+			usage("usage: pmcheck -static [-entry NAME] program.pmc")
 		}
-		m, err := cli.LoadModule(flag.Arg(0))
+		m, err := cli.LoadModuleObs(flag.Arg(0), root)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pmcheck:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		res, err := static.Analyze(m, *entry)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pmcheck:", err)
-			os.Exit(1)
+		root.SetAttr("program", flag.Arg(0))
+		var res *static.Result
+		if obsFlags.Enabled() {
+			// Shadow repair (in memory, never written) so the spans and
+			// audit trail cover plan→apply→revalidate too.
+			out, rerr := core.StaticRepair(m, *entry, core.Options{Obs: root})
+			if rerr != nil {
+				fail(rerr)
+			}
+			res = out.Before
+		} else {
+			res, err = static.Analyze(m, *entry)
+			if err != nil {
+				fail(err)
+			}
 		}
 		fmt.Print(res.Summary())
+		finish()
 		if !res.Clean() {
 			os.Exit(1)
 		}
@@ -61,34 +122,52 @@ func main() {
 	}
 
 	var tr *trace.Trace
+	var mod *ir.Module
 	var err error
 	switch {
 	case *replay != "":
 		tr, err = cli.LoadTrace(*replay)
 	case flag.NArg() == 1:
-		m, lerr := cli.LoadModule(flag.Arg(0))
-		if lerr != nil {
-			err = lerr
+		mod, err = cli.LoadModuleObs(flag.Arg(0), root)
+		if err != nil {
 			break
 		}
-		tr, err = core.TraceModule(m, *entry)
+		root.SetAttr("program", flag.Arg(0))
+		tr, err = core.TraceModuleObs(root, mod, *entry)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: pmcheck [flags] program.pmc | pmcheck -replay trace.pmtrace")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmcheck:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *saveTrace != "" {
 		if err := cli.WriteTrace(tr, *saveTrace); err != nil {
-			fmt.Fprintln(os.Stderr, "pmcheck:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
-	res := pmcheck.Check(tr)
+	res := pmcheck.CheckObs(root, tr)
 	fmt.Print(res.Summary())
+
+	// Shadow repair: with observability on, finish the pipeline in memory
+	// (the module is never written) so spans and the audit trail cover
+	// plan→apply→revalidate. Failures here are reported but do not change
+	// the detection exit status.
+	if obsFlags.Enabled() && !res.Clean() && mod != nil {
+		if _, rerr := core.Repair(mod, tr, res, core.Options{Obs: root}); rerr != nil {
+			fmt.Fprintln(os.Stderr, "pmcheck: shadow repair:", rerr)
+		} else {
+			rsp := root.Start("revalidate")
+			if tr2, terr := core.TraceModuleObs(rsp, mod, *entry); terr != nil {
+				fmt.Fprintln(os.Stderr, "pmcheck: shadow revalidation:", terr)
+			} else {
+				pmcheck.CheckObs(rsp, tr2)
+			}
+			rsp.End()
+		}
+	}
+	finish()
 	if !res.Clean() {
 		os.Exit(1)
 	}

@@ -12,6 +12,10 @@
 //	-trace FILE    write the PM-operation trace to FILE
 //	-print-ir      print the lowered IR instead of running
 //	-max-steps N   instruction budget (default 100M)
+//	-metrics FILE  write counters/histograms/phase timings as JSON
+//	-spans FILE    write the span tree as Chrome trace_event JSON
+//	-audit         print the repair audit trail (always empty here: pmvm
+//	               executes, it never repairs)
 package main
 
 import (
@@ -31,20 +35,26 @@ func main() {
 	traceOut := flag.String("trace", "", "write the PM trace to this file")
 	printIR := flag.Bool("print-ir", false, "print the lowered IR and exit")
 	maxSteps := flag.Int64("max-steps", 0, "instruction budget (0 = default)")
+	var obsFlags cli.ObsFlags
+	obsFlags.Register()
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmvm [flags] program.pmc [intarg ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *maxSteps); err != nil {
+	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *maxSteps, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "pmvm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, argStrs []string, entry, traceOut string, printIR bool, maxSteps int64) error {
-	mod, err := cli.LoadModule(path)
+func run(path string, argStrs []string, entry, traceOut string, printIR bool, maxSteps int64, obsFlags cli.ObsFlags) error {
+	rec := obsFlags.NewRecorder()
+	root := rec.StartSpan("pmvm")
+	root.SetAttr("program", path)
+
+	mod, err := cli.LoadModuleObs(path, root)
 	if err != nil {
 		return err
 	}
@@ -61,14 +71,24 @@ func run(path string, argStrs []string, entry, traceOut string, printIR bool, ma
 		args[i] = uint64(v)
 	}
 	var tr *trace.Trace
-	if traceOut != "" {
+	if traceOut != "" || obsFlags.Enabled() {
 		tr = &trace.Trace{Program: mod.Name}
 	}
 	mach, err := interp.New(mod, interp.Options{Trace: tr, Stdout: os.Stdout, MaxSteps: maxSteps})
 	if err != nil {
 		return err
 	}
+	xsp := root.Start("execute")
+	xsp.SetAttr("entry", entry)
 	ret, err := mach.Run(entry, args...)
+	mach.RecordObs(xsp)
+	if tr != nil {
+		xsp.Add("trace.events", int64(len(tr.Events)))
+		for k, n := range tr.KindCounts() {
+			xsp.Add("trace.event."+k, int64(n))
+		}
+	}
+	xsp.End()
 	if err != nil {
 		return err
 	}
@@ -79,11 +99,12 @@ func run(path string, argStrs []string, entry, traceOut string, printIR bool, ma
 	} else {
 		fmt.Println("pmvm: all PM stores durable at every durability point")
 	}
-	if tr != nil {
+	if tr != nil && traceOut != "" {
 		if err := cli.WriteTrace(tr, traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("pmvm: wrote %d trace events to %s\n", len(tr.Events), traceOut)
 	}
-	return nil
+	root.End()
+	return obsFlags.Finish(rec, os.Stdout)
 }

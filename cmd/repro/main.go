@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"hippocrates/internal/bench"
+	"hippocrates/internal/cli"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/study"
 )
 
@@ -40,6 +42,8 @@ func main() {
 	records := flag.Int64("records", 10000, "Fig. 4 record count")
 	ops := flag.Int("ops", 10000, "Fig. 4 operations per workload")
 	trials := flag.Int("trials", 20, "Fig. 4 trials per workload")
+	var obsFlags cli.ObsFlags
+	obsFlags.Register()
 	flag.Parse()
 
 	if !(*all || *fig1 || *fig3 || *eff || *fig4 || *fig5 || *size) {
@@ -50,7 +54,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
+	rec := obsFlags.NewRecorder()
+	root := rec.StartSpan("repro")
+	var cur *obs.Span
 	section := func(name string) {
+		cur.End()
+		cur = root.Start(name)
 		fmt.Printf("\n==== %s ====\n\n", name)
 	}
 
@@ -107,5 +116,10 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(res.Render())
+	}
+	cur.End()
+	root.End()
+	if err := obsFlags.Finish(rec, os.Stdout); err != nil {
+		fail(err)
 	}
 }

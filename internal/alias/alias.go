@@ -9,6 +9,7 @@ package alias
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hippocrates/internal/ir"
 )
@@ -80,7 +81,15 @@ type Analysis struct {
 	copyEdges  map[int][]int // src -> dsts: pts(dst) ⊇ pts(src)
 	loadEdges  map[int][]int // p -> dsts:   pts(dst) ⊇ pts(*p)
 	storeEdges map[int][]int // p -> srcs:   pts(*p) ⊇ pts(src)
+
+	// queries counts alias/points-to lookups since construction (atomic:
+	// the fixer may consult the analysis from concurrent pipelines).
+	queries atomic.Int64
 }
+
+// Queries returns how many alias/points-to queries have been answered
+// since the analysis was built.
+func (a *Analysis) Queries() int64 { return a.queries.Load() }
 
 // Analyze builds and solves the constraint system for the module.
 func Analyze(mod *ir.Module) *Analysis {
@@ -257,6 +266,7 @@ func (a *Analysis) solve() {
 
 // PointsTo returns the abstract objects v may point to.
 func (a *Analysis) PointsTo(v ir.Value) []*Object {
+	a.queries.Add(1)
 	n, ok := a.nodeOf[v]
 	if !ok {
 		return nil
@@ -271,6 +281,7 @@ func (a *Analysis) PointsTo(v ir.Value) []*Object {
 // MayAlias reports whether two pointer values may reference the same
 // object.
 func (a *Analysis) MayAlias(v, w ir.Value) bool {
+	a.queries.Add(1)
 	nv, ok := a.nodeOf[v]
 	if !ok {
 		return false
@@ -293,6 +304,7 @@ func (a *Analysis) MayAlias(v, w ir.Value) bool {
 
 // MayPointToPM reports whether v may reference a PM object.
 func (a *Analysis) MayPointToPM(v ir.Value) bool {
+	a.queries.Add(1)
 	n, ok := a.nodeOf[v]
 	if !ok {
 		return false
@@ -307,6 +319,7 @@ func (a *Analysis) MayPointToPM(v ir.Value) bool {
 
 // MayPointToNonPM reports whether v may reference a volatile object.
 func (a *Analysis) MayPointToNonPM(v ir.Value) bool {
+	a.queries.Add(1)
 	n, ok := a.nodeOf[v]
 	if !ok {
 		return false
@@ -325,6 +338,7 @@ func (a *Analysis) MayPointToNonPM(v ir.Value) bool {
 // reaching anything: the corpus prelude's pmem_flush computes its target
 // through a ptr→int→ptr round trip, so its points-to set is only extern.
 func (a *Analysis) MayPointToExtern(v ir.Value) bool {
+	a.queries.Add(1)
 	n, ok := a.nodeOf[v]
 	if !ok {
 		return false
@@ -342,6 +356,7 @@ func (a *Analysis) MayPointToExtern(v ir.Value) bool {
 // be treated as possibly pointing anywhere; a tracked value with an empty
 // set provably points nowhere the module allocated.
 func (a *Analysis) PointsToSet(v ir.Value) (ids []int, known bool) {
+	a.queries.Add(1)
 	n, ok := a.nodeOf[v]
 	if !ok {
 		return nil, false

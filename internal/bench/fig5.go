@@ -8,6 +8,7 @@ import (
 
 	"hippocrates/internal/core"
 	"hippocrates/internal/corpus"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/trace"
@@ -22,6 +23,12 @@ type Fig5Row struct {
 	// Time is the wall-clock Hippocrates runtime (analysis + fix
 	// computation + application) over all the target's programs.
 	Time time.Duration
+	// AliasTime / PlanTime / ApplyTime break Time into its phases
+	// (points-to solving, fix planning, fix application), measured by the
+	// telemetry recorder the repair runs under.
+	AliasTime time.Duration
+	PlanTime  time.Duration
+	ApplyTime time.Duration
 	// AllocBytes is the Go heap allocated while fixing (the paper
 	// reports peak RSS; allocation volume is the simulator-side analogue).
 	AllocBytes uint64
@@ -69,20 +76,35 @@ func RunFig5() (*Fig5Result, error) {
 		var ms1, ms2 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&ms1)
+		// A recorder gives the phase breakdown; its cost is a handful of
+		// span operations per program, noise next to the repair itself.
+		rec := obs.New()
+		root := rec.StartSpan("fig5")
 		start := time.Now()
 		for _, pr := range preps {
 			if pr.mod.check.Clean() {
 				continue
 			}
-			fixRes, err := core.Repair(pr.mod.mod, pr.mod.tr, pr.mod.check, core.Options{})
+			fixRes, err := core.Repair(pr.mod.mod, pr.mod.tr, pr.mod.check, core.Options{Obs: root})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", pr.p.Name, err)
 			}
 			row.Fixes += len(fixRes.Fixes)
 		}
 		row.Time = time.Since(start)
+		root.End()
 		runtime.ReadMemStats(&ms2)
 		row.AllocBytes = ms2.TotalAlloc - ms1.TotalAlloc
+		for _, pt := range rec.PhaseTotals() {
+			switch pt.Name {
+			case "alias-analyze":
+				row.AliasTime = pt.Total
+			case "plan":
+				row.PlanTime = pt.Total
+			case "apply":
+				row.ApplyTime = pt.Total
+			}
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
@@ -98,10 +120,13 @@ type moduleWithTrace struct {
 func (r *Fig5Result) Render() string {
 	var b strings.Builder
 	b.WriteString("Fig. 5 — Hippocrates offline overhead\n")
-	fmt.Fprintf(&b, "%-20s %8s %12s %12s %7s %8s\n", "target", "KLOC", "time", "alloc", "fixes", "events")
+	fmt.Fprintf(&b, "%-20s %8s %12s %10s %10s %10s %12s %7s %8s\n",
+		"target", "KLOC", "time", "alias", "plan", "apply", "alloc", "fixes", "events")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-20s %8.1f %12s %12s %7d %8d\n",
+		fmt.Fprintf(&b, "%-20s %8.1f %12s %10s %10s %10s %12s %7d %8d\n",
 			row.Target, row.KLOC, row.Time.Round(time.Microsecond),
+			row.AliasTime.Round(time.Microsecond), row.PlanTime.Round(time.Microsecond),
+			row.ApplyTime.Round(time.Microsecond),
 			fmtBytes(row.AllocBytes), row.Fixes, row.TraceEvents)
 	}
 	return b.String()

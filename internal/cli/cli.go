@@ -13,21 +13,35 @@ import (
 
 	"hippocrates/internal/ir"
 	"hippocrates/internal/lang"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/trace"
 )
 
 // LoadModule reads a program from disk: a .pmc file is compiled, a .pmir
 // file is parsed as textual IR.
 func LoadModule(path string) (*ir.Module, error) {
+	return LoadModuleObs(path, nil)
+}
+
+// LoadModuleObs is LoadModule with front-end telemetry: a .pmc compile
+// records lex/parse/lower child spans under sp, a .pmir file records a
+// single parse-ir span. A nil span records nothing.
+func LoadModuleObs(path string, sp *obs.Span) (*ir.Module, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".pmc":
-		return lang.Compile(filepath.Base(path), string(src))
+		return lang.CompileObs(filepath.Base(path), string(src), sp)
 	case ".pmir":
-		return ir.ParseModule(string(src))
+		psp := sp.Start("parse-ir")
+		defer psp.End()
+		m, err := ir.ParseModule(string(src))
+		if m != nil {
+			psp.Add("ir.instrs", int64(m.NumInstrs()))
+		}
+		return m, err
 	default:
 		return nil, fmt.Errorf("cli: %s: unknown extension (want .pmc or .pmir)", path)
 	}

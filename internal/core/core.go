@@ -20,6 +20,7 @@ import (
 
 	"hippocrates/internal/alias"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/trace"
 )
@@ -59,6 +60,11 @@ type Options struct {
 	// DebugScores, when non-nil, receives a line per heuristic candidate
 	// (fix location and score) for diagnosis.
 	DebugScores io.Writer
+	// Obs, when non-nil, is the parent span the pipeline records its
+	// phase spans, counters, and repair audit trail under. The nil
+	// default disables all telemetry at the cost of one pointer check
+	// per phase boundary.
+	Obs *obs.Span
 }
 
 // FixKind classifies an applied fix.
@@ -156,13 +162,79 @@ type Fixer struct {
 	transSites  map[*ir.Instr]*ir.Func
 	escapeCache map[*ir.Instr]bool
 
+	// sp is the telemetry parent span (nil when disabled); cur is the
+	// provenance of the plan currently being applied, consumed by the
+	// low-level insertion helpers when they write audit entries.
+	sp  *obs.Span
+	cur *auditCtx
+
 	result *Result
+}
+
+// auditCtx is the provenance attached to every audit entry an applying
+// plan generates: the originating report and the planner's decision.
+type auditCtx struct {
+	report   *pmcheck.Report
+	decision string
+	why      string
+	score    int
+	depth    int
+}
+
+// audit writes one audit-trail entry for an action at instruction in,
+// stamped with the current plan's provenance.
+func (fx *Fixer) audit(action, mechanism string, in *ir.Instr) {
+	if fx.sp == nil {
+		return
+	}
+	fx.auditSite(action, mechanism, siteOf(in))
+}
+
+// auditSite is audit with an explicit site string (for actions — like
+// cloning a whole function — that have no single instruction).
+func (fx *Fixer) auditSite(action, mechanism, site string) {
+	if fx.sp == nil {
+		return
+	}
+	e := obs.AuditEntry{Action: action, Mechanism: mechanism, Site: site}
+	if c := fx.cur; c != nil {
+		e.ReportSite = c.report.Store.Site().String()
+		e.ReportClass = c.report.Class().String()
+		e.Decision = c.decision
+		e.Why = c.why
+		e.Score = c.score
+		e.HoistDepth = c.depth
+	}
+	fx.sp.Audit(e)
+}
+
+// siteOf renders an instruction's exact location as
+// file:func:block:index, where index is the instruction's position in
+// its basic block at the time of the call.
+func siteOf(in *ir.Instr) string {
+	blk := in.Block()
+	if blk == nil {
+		return "<detached>"
+	}
+	idx := -1
+	for i, x := range blk.Instrs {
+		if x == in {
+			idx = i
+			break
+		}
+	}
+	file := in.Loc.File
+	if file == "" {
+		file = "<generated>"
+	}
+	return fmt.Sprintf("%s:@%s:%s:%d", file, blk.Func().Name, blk.Name, idx)
 }
 
 // NewFixer analyzes the module and prepares a fixing session. The module
 // must be the exact module (same instruction numbering) the trace was
 // recorded against; it is mutated in place by Apply.
 func NewFixer(mod *ir.Module, tr *trace.Trace, opts Options) *Fixer {
+	asp := opts.Obs.Start("alias-analyze")
 	an := alias.Analyze(mod)
 	var marks *alias.Marks
 	if opts.Marks == TraceAA {
@@ -170,8 +242,11 @@ func NewFixer(mod *ir.Module, tr *trace.Trace, opts Options) *Fixer {
 	} else {
 		marks = alias.FullMarks(an)
 	}
+	asp.SetAttr("marks", marks.Name)
+	asp.End()
 	fx := &Fixer{
 		opts:        opts,
+		sp:          opts.Obs,
 		mod:         mod,
 		an:          an,
 		marks:       marks,
@@ -222,11 +297,15 @@ func (fx *Fixer) Result() *Result { return fx.result }
 // call chains needing the same mechanisms) reaches the planner once, with
 // the stack union preserved for the hoisting heuristic.
 func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
+	psp := fx.sp.Start("plan")
+	psp.Add("fix.reports.pre_dedupe", int64(len(reports)))
 	reports = pmcheck.DedupeByClass(reports)
+	psp.Add("fix.reports.post_dedupe", int64(len(reports)))
 	plans := make([]*plan, 0, len(reports))
 	for _, rep := range reports {
 		p, err := fx.plan(rep)
 		if err != nil {
+			psp.End()
 			return err
 		}
 		plans = append(plans, p)
@@ -243,6 +322,17 @@ func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
 		fx.reduceFlushGroups(plans)
 	}
 	for _, p := range plans {
+		if p.hoist != nil {
+			psp.Add("fix.plans.hoisted", 1)
+		} else {
+			psp.Add("fix.plans.intraprocedural", 1)
+		}
+	}
+	psp.End()
+
+	asp := fx.sp.Start("apply")
+	defer asp.End()
+	for _, p := range plans {
 		if err := fx.apply(p); err != nil {
 			return err
 		}
@@ -253,6 +343,17 @@ func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
 	fx.result.InstrsAfter = fx.mod.NumInstrs()
 	if err := ir.Verify(fx.mod); err != nil {
 		return fmt.Errorf("hippocrates: fixed module does not verify: %w", err)
+	}
+	asp.Add("fix.count", int64(len(fx.result.Fixes)))
+	for _, f := range fx.result.Fixes {
+		asp.Add("fix.by_mechanism."+f.Kind.String(), 1)
+	}
+	asp.Add("fix.reduced", int64(fx.result.ReducedFixes))
+	asp.Add("fix.clones", int64(fx.result.ClonesCreated))
+	asp.Add("fix.instrs.added", int64(fx.result.InstrsAfter-fx.result.InstrsBefore))
+	asp.Add("alias.queries", fx.an.Queries())
+	for _, f := range fx.result.Fixes {
+		fx.sp.Observe("fix.hoist_depth", int64(f.HoistDepth))
 	}
 	return nil
 }
@@ -267,6 +368,9 @@ type plan struct {
 	// intraprocedural.
 	hoist *candidate
 	score int
+	// why is the heuristic's reasoning for the chosen placement, carried
+	// into the audit trail.
+	why string
 	// fenceAfter are the instructions after which a fence must be
 	// inserted for fence-only needs.
 	fenceAfter []*ir.Instr
@@ -298,9 +402,13 @@ func (fx *Fixer) plan(rep *pmcheck.Report) (*plan, error) {
 	if rep.NeedFlush {
 		best := fx.chooseCandidate(rep)
 		p.score = best.score
+		p.why = best.why
 		if best.depth > 0 {
 			p.hoist = &best
 		}
+	}
+	if rep.NeedFence && p.hoist == nil && !rep.NeedFlush {
+		p.why = "fence-only bug: fence inserted after the flush site(s) that covered the store"
 	}
 	if rep.NeedFence && p.hoist == nil {
 		// Fence goes after every flush that covered the store (for

@@ -17,6 +17,9 @@ type candidate struct {
 	frame  trace.Frame
 	callIn *ir.Instr // resolved call instruction (depth >= 1)
 	score  int
+	// why records, in prose, how the heuristic arrived at this placement;
+	// it flows into the repair audit trail.
+	why string
 }
 
 // chooseCandidate runs the hoisting heuristic for one report and returns
@@ -27,7 +30,12 @@ func (fx *Fixer) chooseCandidate(rep *pmcheck.Report) candidate {
 	stack := rep.Store.Stack
 	intra := candidate{depth: 0, frame: rep.Store.Site(), score: fx.scoreValues(fx.storePointers(rep))}
 	fx.debugScore(rep, intra)
-	if fx.opts.DisableHoisting || len(stack) < 2 {
+	if fx.opts.DisableHoisting {
+		intra.why = "hoisting disabled; intraprocedural fix forced"
+		return intra
+	}
+	if len(stack) < 2 {
+		intra.why = "store in the entry activation; no call sites to hoist to"
 		return intra
 	}
 
@@ -48,12 +56,14 @@ func (fx *Fixer) chooseCandidate(rep *pmcheck.Report) candidate {
 	}
 
 	best := intra
+	stop := ""
 	for d := 1; d <= maxDepth && d < len(stack); d++ {
 		frame := stack[d]
 		callIn := fx.resolve(frame)
 		if callIn == nil || callIn.Op != ir.OpCall || callIn.Callee.Name != stack[d-1].Func {
 			// The stack does not resolve to a call chain in this module
 			// (e.g. renamed functions); stop hoisting here.
+			stop = fmt.Sprintf("call chain unresolvable at depth %d", d)
 			break
 		}
 		var ptrArgs []ir.Value
@@ -66,6 +76,7 @@ func (fx *Fixer) chooseCandidate(rep *pmcheck.Report) candidate {
 			// §4.3: argument-less call sites and all their parents score
 			// −∞ — the callee reaches PM through globals or allocates it
 			// directly, so hoisting buys nothing.
+			stop = fmt.Sprintf("call site at depth %d passes no pointers (scores -inf upward)", d)
 			break
 		}
 		c := candidate{depth: d, frame: frame, callIn: callIn, score: fx.scoreValues(ptrArgs)}
@@ -73,6 +84,16 @@ func (fx *Fixer) chooseCandidate(rep *pmcheck.Report) candidate {
 		if c.score > best.score {
 			best = c
 		}
+	}
+	if best.depth == 0 {
+		best.why = fmt.Sprintf("no call site outscored the store (intra score %d)", intra.score)
+		if stop != "" {
+			best.why += "; " + stop
+		} else if maxDepth < len(stack)-1 {
+			best.why += fmt.Sprintf("; hoisting capped at depth %d by checkpoint liveness / stack divergence", maxDepth)
+		}
+	} else {
+		best.why = fmt.Sprintf("call site at depth %d scored %d > store-site %d", best.depth, best.score, intra.score)
 	}
 	return best
 }

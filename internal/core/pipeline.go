@@ -5,6 +5,7 @@ import (
 
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/trace"
 )
@@ -28,12 +29,29 @@ func (p *PipelineResult) Fixed() bool { return p.After.Clean() }
 // the recorded PM trace. As the paper does for trace generation (§5.1),
 // the module is used as-is, unoptimized.
 func TraceModule(mod *ir.Module, entry string, args ...uint64) (*trace.Trace, error) {
+	return TraceModuleObs(nil, mod, entry, args...)
+}
+
+// TraceModuleObs is TraceModule under a "trace" child span of sp: the
+// interpreter's run statistics (steps, per-opcode counts) and the trace's
+// PM-event breakdown are published into the span's recorder. A nil span
+// records nothing.
+func TraceModuleObs(sp *obs.Span, mod *ir.Module, entry string, args ...uint64) (*trace.Trace, error) {
+	tsp := sp.Start("trace")
+	defer tsp.End()
+	tsp.SetAttr("entry", entry)
 	tr := &trace.Trace{Program: mod.Name}
 	mach, err := interp.New(mod, interp.Options{Trace: tr})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := mach.Run(entry, args...); err != nil {
+	_, err = mach.Run(entry, args...)
+	mach.RecordObs(tsp)
+	tsp.Add("trace.events", int64(len(tr.Events)))
+	for k, n := range tr.KindCounts() {
+		tsp.Add("trace.event."+k, int64(n))
+	}
+	if err != nil {
 		return nil, fmt.Errorf("tracing @%s: %w", entry, err)
 	}
 	return tr, nil
@@ -42,13 +60,16 @@ func TraceModule(mod *ir.Module, entry string, args ...uint64) (*trace.Trace, er
 // RunAndRepair runs the whole Hippocrates workflow on mod, mutating it in
 // place: trace the entry point, detect durability bugs, compute and apply
 // fixes, then re-trace and re-check to validate that the bugs are gone
-// (the validation step of §6.1).
+// (the validation step of §6.1). When opts.Obs is set, the phases record
+// spans under it: trace, detect, plan, apply, and a revalidate span whose
+// children are the second trace and detect.
 func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (*PipelineResult, error) {
-	tr, err := TraceModule(mod, entry, args...)
+	sp := opts.Obs
+	tr, err := TraceModuleObs(sp, mod, entry, args...)
 	if err != nil {
 		return nil, err
 	}
-	res := pmcheck.Check(tr)
+	res := pmcheck.CheckObs(sp, tr)
 	out := &PipelineResult{Trace: tr, Before: res}
 	if res.Clean() {
 		out.After = res
@@ -59,10 +80,13 @@ func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (*
 		return nil, err
 	}
 	out.Fix = fixRes
-	tr2, err := TraceModule(mod, entry, args...)
+	rsp := sp.Start("revalidate")
+	defer rsp.End()
+	tr2, err := TraceModuleObs(rsp, mod, entry, args...)
 	if err != nil {
 		return nil, fmt.Errorf("re-tracing repaired module: %w", err)
 	}
-	out.After = pmcheck.Check(tr2)
+	out.After = pmcheck.CheckObs(rsp, tr2)
+	rsp.Add("revalidate.remaining_reports", int64(len(out.After.Reports)))
 	return out, nil
 }

@@ -25,7 +25,8 @@ type StaticPipelineResult struct {
 // (Full-AA): with no trace there is nothing for Trace-AA to refine, so a
 // TraceAA request is overridden.
 func StaticRepair(mod *ir.Module, entry string, opts Options) (*StaticPipelineResult, error) {
-	sres, err := static.Analyze(mod, entry)
+	sp := opts.Obs
+	sres, err := static.AnalyzeObs(mod, entry, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -40,10 +41,13 @@ func StaticRepair(mod *ir.Module, entry string, opts Options) (*StaticPipelineRe
 		return nil, fmt.Errorf("static repair: %w", err)
 	}
 	out.Fix = fx.Result()
-	after, err := static.Analyze(mod, entry)
+	rsp := sp.Start("revalidate")
+	defer rsp.End()
+	after, err := static.AnalyzeObs(mod, entry, rsp)
 	if err != nil {
 		return nil, fmt.Errorf("static repair re-analysis: %w", err)
 	}
 	out.After = after
+	rsp.Add("revalidate.remaining_reports", int64(len(after.Reports)))
 	return out, nil
 }

@@ -16,6 +16,11 @@ func (fx *Fixer) apply(p *plan) error {
 	if p.hoist != nil {
 		return fx.applyInterproc(p)
 	}
+	decision := "intraprocedural"
+	if !rep.NeedFlush {
+		decision = "fence-only"
+	}
+	fx.cur = &auditCtx{report: rep, decision: decision, why: p.why, score: p.score}
 	fix := &Fix{Report: rep, AppliedAt: rep.Store.Site(), Score: p.score}
 	switch {
 	case rep.NeedFlush && rep.NeedFence:
@@ -30,6 +35,9 @@ func (fx *Fixer) apply(p *plan) error {
 		// Phase-2 reduction: the group leader's flush covers this line.
 		fx.result.ReducedFixes++
 		fix.AppliedAt = p.groupLeader.report.Store.Site()
+		fx.cur.decision = "reduced"
+		fx.cur.why = "same-cache-line flush merged into the group leader's"
+		fx.audit("merge-flush", fx.opts.FlushKind.String(), p.groupLeader.storeIn)
 	case rep.NeedFlush:
 		flushIn := fx.insertFlushAfter(p.storeIn)
 		if rep.NeedFence || p.groupFence {
@@ -57,10 +65,12 @@ func (fx *Fixer) insertFlushAfter(in *ir.Instr) *ir.Instr {
 		if next := instrAfter(blk, in); !fx.opts.DisableReduction &&
 			next != nil && next.Op == ir.OpFlush && next.Args[0] == ptr {
 			fx.result.ReducedFixes++
+			fx.audit("elide-flush", next.FlushK.String(), next)
 			return next
 		}
 		fl := &ir.Instr{Op: ir.OpFlush, Ty: ir.Void, FlushK: fx.opts.FlushKind, Args: []ir.Value{ptr}, Loc: in.Loc}
 		blk.InsertAfter(in, fl)
+		fx.audit("insert-flush", fl.FlushK.String(), fl)
 		return fl
 	case ir.OpCall:
 		// Builtin memcpy/memset: flush the destination range.
@@ -70,10 +80,12 @@ func (fx *Fixer) insertFlushAfter(in *ir.Instr) *ir.Instr {
 			next != nil && next.Op == ir.OpCall && next.Callee == fr &&
 			next.Args[0] == dst && next.Args[1] == n {
 			fx.result.ReducedFixes++
+			fx.audit("elide-flush", "flush_range", next)
 			return next
 		}
 		call := &ir.Instr{Op: ir.OpCall, Ty: ir.Void, Callee: fr, Args: []ir.Value{dst, n}, Loc: in.Loc}
 		blk.InsertAfter(in, call)
+		fx.audit("insert-flush-range", "flush_range", call)
 		return call
 	}
 	panic("hippocrates: insertFlushAfter on " + in.Op.String())
@@ -85,10 +97,12 @@ func (fx *Fixer) insertFenceAfter(in *ir.Instr) *ir.Instr {
 	if next := instrAfter(blk, in); !fx.opts.DisableReduction &&
 		next != nil && next.Op == ir.OpFence {
 		fx.result.ReducedFixes++
+		fx.audit("elide-fence", next.FenceK.String(), next)
 		return nil
 	}
 	fe := &ir.Instr{Op: ir.OpFence, Ty: ir.Void, FenceK: ir.SFENCE, Loc: in.Loc}
 	blk.InsertAfter(in, fe)
+	fx.audit("insert-fence", fe.FenceK.String(), fe)
 	return fe
 }
 
@@ -119,9 +133,17 @@ func (fx *Fixer) flushRangeFunc() *ir.Func {
 // call, and place a single fence after it.
 func (fx *Fixer) applyInterproc(p *plan) error {
 	callIn := p.hoist.callIn
+	fx.cur = &auditCtx{
+		report:   p.report,
+		decision: fmt.Sprintf("hoisted %d level(s)", p.hoist.depth),
+		why:      p.why,
+		score:    p.score,
+		depth:    p.hoist.depth,
+	}
 	var clone *ir.Func
 	if existing, done := fx.transSites[callIn]; done {
 		clone = existing
+		fx.audit("reuse-subprogram", clone.Name, callIn)
 	} else {
 		var err error
 		clone, err = fx.persistentClone(callIn.Callee)
@@ -129,6 +151,7 @@ func (fx *Fixer) applyInterproc(p *plan) error {
 			return err
 		}
 		callIn.Callee = clone
+		fx.audit("retarget-call", clone.Name, callIn)
 		fx.insertFenceAfter(callIn)
 		fx.transSites[callIn] = clone
 	}
@@ -150,6 +173,7 @@ func (fx *Fixer) applyInterproc(p *plan) error {
 // keeps code bloat negligible).
 func (fx *Fixer) persistentClone(fn *ir.Func) (*ir.Func, error) {
 	if c, ok := fx.clones[fn]; ok {
+		fx.auditSite("reuse-subprogram", c.Name, "@"+fn.Name)
 		return c, nil
 	}
 	if fn.IsDecl() {
@@ -236,6 +260,7 @@ func (fx *Fixer) persistentClone(fn *ir.Func) (*ir.Func, error) {
 	// the clone being built.
 	fx.clones[fn] = clone
 	fx.result.ClonesCreated++
+	fx.auditSite("clone-subprogram", clone.Name, "@"+fn.Name)
 
 	for _, e := range edits {
 		in := clone.InstrByID(e.id)
@@ -253,6 +278,7 @@ func (fx *Fixer) persistentClone(fn *ir.Func) (*ir.Func, error) {
 				return nil, err
 			}
 			in.Callee = gClone
+			fx.audit("retarget-call", gClone.Name, in)
 		}
 	}
 	return clone, nil

@@ -74,6 +74,11 @@ type Machine struct {
 	steps       int64
 	max         int64
 	checkpoints int
+
+	// ops counts executed instructions per opcode. A dense array indexed
+	// by ir.Op keeps the dispatch-loop cost to one increment; the map view
+	// is built on demand by OpcodeCounts.
+	ops [ir.NumOps]int64
 }
 
 type frame struct {
@@ -358,6 +363,7 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 		var next *ir.Block
 		for _, in := range blk.Instrs {
 			m.steps++
+			m.ops[in.Op]++
 			if m.steps > m.max {
 				return 0, m.fault("step limit exceeded (%d)", m.max)
 			}

@@ -1,0 +1,37 @@
+package interp
+
+import (
+	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
+)
+
+// OpcodeCounts returns how many times each opcode was executed, keyed by
+// the opcode's mnemonic. Opcodes that never executed are omitted.
+func (m *Machine) OpcodeCounts() map[string]int64 {
+	out := make(map[string]int64)
+	for op, n := range m.ops {
+		if n > 0 {
+			out[ir.Op(op).String()] = n
+		}
+	}
+	return out
+}
+
+// RecordObs flushes the machine's run statistics into the span's
+// recorder: total steps, checkpoints, and the per-opcode execution
+// counters (namespaced under obs.OpcodeCounterPrefix, which feeds the
+// top-10 opcode table in the metrics export). The interpreter's dispatch
+// loop never touches obs directly — it keeps dense integer counters and
+// this one call publishes them after the run.
+func (m *Machine) RecordObs(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	sp.Add("interp.steps", m.steps)
+	sp.Add("interp.checkpoints", int64(m.checkpoints))
+	for op, n := range m.ops {
+		if n > 0 {
+			sp.Add(obs.OpcodeCounterPrefix+ir.Op(op).String(), n)
+		}
+	}
+}

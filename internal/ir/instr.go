@@ -55,6 +55,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of opcodes (including OpInvalid) — the size of a
+// dense per-opcode counter array.
+const NumOps = int(numOps)
+
 var opNames = [...]string{
 	OpInvalid:  "invalid",
 	OpAlloca:   "alloca",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
 )
 
 // Compile parses, type-checks and lowers a pmc source file into an IR
@@ -12,11 +13,34 @@ import (
 // gets an entry-block alloca, all control flow is explicit blocks, and
 // every instruction carries its source line.
 func Compile(filename, src string) (*ir.Module, error) {
-	f, err := Parse(filename, src)
+	return CompileObs(filename, src, nil)
+}
+
+// CompileObs is Compile with telemetry: the lex, parse, and lower phases
+// each get a child span of sp (nil disables recording).
+func CompileObs(filename, src string, sp *obs.Span) (*ir.Module, error) {
+	lsp := sp.Start("lex")
+	toks, err := newLexer(filename, src).lex()
+	lsp.Add("lang.tokens", int64(len(toks)))
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return Lower(f)
+	psp := sp.Start("parse")
+	p := &parser{file: filename, toks: toks, structNames: map[string]bool{}}
+	f, err := p.parseFile()
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	wsp := sp.Start("lower")
+	defer wsp.End()
+	m, err := Lower(f)
+	if m != nil {
+		wsp.Add("lang.funcs", int64(len(m.Funcs)))
+		wsp.Add("ir.instrs", int64(m.NumInstrs()))
+	}
+	return m, err
 }
 
 // MustCompile is Compile for known-good sources (tests, corpus).

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AuditEntry is one record of the repair audit trail: what was inserted
+// (or deliberately not inserted), exactly where, and why. Together the
+// entries let a reviewer trace every flush, fence, and persistent
+// subprogram the fixer produced back to the detector report and the
+// heuristic decision that caused it — the provenance the "do no harm"
+// promise is audited against.
+type AuditEntry struct {
+	// Seq is assigned by the recorder in recording order.
+	Seq int
+	// Action is one of: insert-flush, insert-flush-range, insert-fence,
+	// elide-flush, elide-fence, merge-flush, clone-subprogram,
+	// reuse-subprogram, retarget-call.
+	Action string
+	// Site is the exact insertion (or reuse) site as
+	// file:func:block:index — index is the instruction's position within
+	// its basic block at the time of the action.
+	Site string
+	// Mechanism names what was placed: the flush flavour (clwb, ...),
+	// the fence kind (sfence), or the clone's function name.
+	Mechanism string
+	// ReportSite and ReportClass identify the originating detector
+	// report (store site and bug class).
+	ReportSite  string
+	ReportClass string
+	// Decision is the planner's placement choice: "intraprocedural",
+	// "hoisted N level(s)", or "fence-only"; Why is the heuristic's
+	// reasoning in prose; Score is the chosen candidate's §4.3 score.
+	Decision string
+	Why      string
+	Score    int
+	// HoistDepth is the call-stack distance of an interprocedural fix.
+	HoistDepth int
+}
+
+// RecordAudit appends an entry to the audit trail.
+func (r *Recorder) RecordAudit(e AuditEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.Seq = len(r.audit) + 1
+	r.audit = append(r.audit, &e)
+	r.mu.Unlock()
+}
+
+// AuditTrail returns the recorded entries in order.
+func (r *Recorder) AuditTrail() []*AuditEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*AuditEntry(nil), r.audit...)
+}
+
+// AuditLen returns the number of audit entries.
+func (r *Recorder) AuditLen() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.audit)
+}
+
+func (e *AuditEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d] %s", e.Seq, e.Action)
+	if e.Mechanism != "" {
+		fmt.Fprintf(&b, " %s", e.Mechanism)
+	}
+	fmt.Fprintf(&b, " at %s", e.Site)
+	if e.ReportSite != "" {
+		fmt.Fprintf(&b, "\n    report: %s at %s", e.ReportClass, e.ReportSite)
+	}
+	if e.Decision != "" {
+		fmt.Fprintf(&b, "\n    decision: %s (score %d)", e.Decision, e.Score)
+		if e.Why != "" {
+			fmt.Fprintf(&b, ": %s", e.Why)
+		}
+	}
+	return b.String()
+}
+
+// AuditText renders the whole trail for the -audit CLI flag.
+func (r *Recorder) AuditText() string {
+	entries := r.AuditTrail()
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d repair decision(s)\n", len(entries))
+	for _, e := range entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	sp := r.StartSpan("root")
+	if sp != nil {
+		t.Fatal("nil recorder returned a span")
+	}
+	// Every nil-span operation must be safe.
+	child := sp.Start("child")
+	child.SetAttr("k", "v")
+	child.Add("c", 1)
+	child.Observe("h", 42)
+	child.Audit(AuditEntry{Action: "insert-flush"})
+	child.End()
+	sp.End()
+	r.Add("c", 1)
+	r.Observe("h", 1)
+	r.RecordAudit(AuditEntry{})
+	r.SetTrackAllocs(true)
+	if r.Counter("c") != 0 || len(r.Spans()) != 0 || r.AuditLen() != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	r := New()
+	root := r.StartSpan("pipeline")
+	a := root.Start("trace")
+	a.End()
+	b := root.Start("detect")
+	c := b.Start("replay")
+	c.End()
+	b.End()
+	root.End()
+
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]*Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["pipeline"].Parent != -1 {
+		t.Errorf("root parent = %d, want -1", byName["pipeline"].Parent)
+	}
+	if byName["trace"].Parent != byName["pipeline"].ID ||
+		byName["detect"].Parent != byName["pipeline"].ID {
+		t.Error("phase spans not parented to the root")
+	}
+	if byName["replay"].Parent != byName["detect"].ID {
+		t.Error("grandchild not parented to its creator")
+	}
+	for _, s := range spans {
+		if s.Dur < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+}
+
+func TestCountersAndHistograms(t *testing.T) {
+	r := New()
+	r.Add("x", 2)
+	r.Add("x", 3)
+	if got := r.Counter("x"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	for _, v := range []int64{0, 1, 2, 3, 900} {
+		r.Observe("h", v)
+	}
+	h := r.Histograms()["h"]
+	if h.Count != 5 || h.Sum != 906 || h.Min != 0 || h.Max != 900 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	// 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 900 -> bucket 10.
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 10: 1}
+	for k, n := range want {
+		if h.Buckets[k] != n {
+			t.Errorf("bucket %d = %d, want %d", k, h.Buckets[k], n)
+		}
+	}
+	if BucketBound(2) != 3 || BucketBound(10) != 1023 || BucketBound(0) != 0 {
+		t.Error("bucket bounds wrong")
+	}
+}
+
+func TestTopCounters(t *testing.T) {
+	r := New()
+	r.Add(OpcodeCounterPrefix+"store", 10)
+	r.Add(OpcodeCounterPrefix+"load", 30)
+	r.Add(OpcodeCounterPrefix+"add", 30)
+	r.Add("unrelated", 99)
+	top := r.TopCounters(OpcodeCounterPrefix, 2)
+	if len(top) != 2 || top[0].Name != "add" || top[1].Name != "load" {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Hammer one recorder from many goroutines; run under -race this
+	// checks the locking, and afterwards every span's parent must lie in
+	// its own goroutine's tree (explicit parenting cannot cross trees).
+	r := New()
+	const gs = 8
+	roots := make([]*Span, gs)
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		g := g
+		roots[g] = r.StartSpan("root")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := roots[g].Start("work")
+				s.Add("n", 1)
+				s.Observe("v", int64(i))
+				s.End()
+			}
+			roots[g].End()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != gs*50 {
+		t.Fatalf("counter n = %d, want %d", got, gs*50)
+	}
+	spans := r.Spans()
+	byID := make(map[int]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent < 0 {
+			continue
+		}
+		if byID[s.Parent] == nil {
+			t.Fatalf("span %d has dangling parent %d", s.ID, s.Parent)
+		}
+		if byID[s.Parent].Name != "root" {
+			t.Fatalf("span %d parented to %q, want a root", s.ID, byID[s.Parent].Name)
+		}
+	}
+}
+
+func TestExportsValidateAgainstSchemas(t *testing.T) {
+	r := New()
+	root := r.StartSpan("pipeline")
+	root.SetAttr("program", "test.pmc")
+	ch := root.Start("detect")
+	ch.Add("pmcheck.reports", 3)
+	ch.Observe("report.occurrences", 7)
+	ch.End()
+	root.End()
+	r.Add(OpcodeCounterPrefix+"store", 12)
+	r.RecordAudit(AuditEntry{Action: "insert-flush", Site: "t.pmc:@f:entry:3", Mechanism: "clwb"})
+
+	metrics, err := r.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(metrics); err != nil {
+		t.Fatalf("metrics do not validate: %v\n%s", err, metrics)
+	}
+	spans, err := r.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpans(spans); err != nil {
+		t.Fatalf("spans do not validate: %v\n%s", err, spans)
+	}
+	plain, err := r.SpansJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(plain, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["spans"]; !ok {
+		t.Fatal("plain span export missing spans key")
+	}
+}
+
+func TestEmptyRecorderExportsValidate(t *testing.T) {
+	r := New()
+	metrics, err := r.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(metrics); err != nil {
+		t.Fatalf("empty metrics do not validate: %v", err)
+	}
+	spans, err := r.ChromeTraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpans(spans); err != nil {
+		t.Fatalf("empty spans do not validate: %v", err)
+	}
+}
+
+func TestValidateJSONRejects(t *testing.T) {
+	schema := []byte(`{"type":"object","required":["a"],"additionalProperties":false,
+		"properties":{"a":{"type":"integer","minimum":0},"b":{"enum":["x","y"]}}}`)
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`{}`, "missing required"},
+		{`{"a":1.5}`, "expected integer"},
+		{`{"a":-1}`, "below minimum"},
+		{`{"a":1,"b":"z"}`, "not in enum"},
+		{`{"a":1,"c":2}`, "unexpected property"},
+		{`[1]`, "expected object"},
+	}
+	for _, c := range cases {
+		err := ValidateJSON(schema, []byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("doc %s: err=%v, want containing %q", c.doc, err, c.want)
+		}
+	}
+	if err := ValidateJSON(schema, []byte(`{"a":2,"b":"x"}`)); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+}
+
+func TestAuditText(t *testing.T) {
+	r := New()
+	r.RecordAudit(AuditEntry{
+		Action: "insert-flush", Mechanism: "clwb", Site: "t.pmc:@set:entry:4",
+		ReportSite: "set@3(t.pmc:12)", ReportClass: "missing-flush&fence",
+		Decision: "intraprocedural", Why: "no call site outscored the store", Score: 2,
+	})
+	r.RecordAudit(AuditEntry{Action: "insert-fence", Mechanism: "sfence", Site: "t.pmc:@set:entry:5"})
+	text := r.AuditText()
+	for _, want := range []string{
+		"2 repair decision(s)",
+		"[1] insert-flush clwb at t.pmc:@set:entry:4",
+		"report: missing-flush&fence at set@3(t.pmc:12)",
+		"decision: intraprocedural (score 2): no call site outscored",
+		"[2] insert-fence sfence",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("audit text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	r := New()
+	root := r.StartSpan("pipeline")
+	for i := 0; i < 3; i++ {
+		s := root.Start("trace")
+		s.End()
+	}
+	root.End()
+	pts := r.PhaseTotals()
+	if len(pts) != 2 || pts[0].Name != "pipeline" || pts[1].Name != "trace" || pts[1].Spans != 3 {
+		t.Fatalf("phase totals = %+v", pts)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestValidateSmokeArtifacts validates telemetry files a real CLI run
+// wrote to disk. `make metrics-smoke` runs hippocrates on
+// testdata/metrics_smoke.pmc with -metrics and -spans, then invokes this
+// test with OBS_SMOKE_DIR pointing at the output directory. Without the
+// variable the test skips — in-process export validation is covered by
+// the tests above.
+func TestValidateSmokeArtifacts(t *testing.T) {
+	dir := os.Getenv("OBS_SMOKE_DIR")
+	if dir == "" {
+		t.Skip("OBS_SMOKE_DIR not set; run via `make metrics-smoke`")
+	}
+	metrics, err := os.ReadFile(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(metrics); err != nil {
+		t.Errorf("metrics.json does not match schema/metrics.schema.json: %v", err)
+	}
+	spans, err := os.ReadFile(filepath.Join(dir, "spans.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSpans(spans); err != nil {
+		t.Errorf("spans.json does not match schema/spans.schema.json: %v", err)
+	}
+
+	// Beyond schema shape, the smoke run is a full repair, so its span
+	// file must cover the whole pipeline.
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(spans, &doc); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, phase := range []string{"lex", "parse", "lower", "trace", "detect", "plan", "apply", "revalidate"} {
+		if !seen[phase] {
+			t.Errorf("span file is missing pipeline phase %q (has %v)", phase, names(seen))
+		}
+	}
+
+	// And the metrics must show fixes were actually applied and audited.
+	var m struct {
+		Counters     map[string]int64 `json:"counters"`
+		AuditEntries int64            `json:"audit_entries"`
+	}
+	if err := json.Unmarshal(metrics, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters["fix.count"] <= 0 {
+		t.Errorf("metrics report no applied fixes (fix.count=%d)", m.Counters["fix.count"])
+	}
+	if m.AuditEntries <= 0 {
+		t.Errorf("metrics report no audit entries")
+	}
+}
+
+func names(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

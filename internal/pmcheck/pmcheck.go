@@ -91,6 +91,11 @@ type Result struct {
 	Flushes     int
 	Fences      int
 	Checkpoints int
+	// LinesTouched counts the distinct cache lines written by the
+	// trace's stores — the working-set figure the telemetry layer
+	// reports. Computed during the offline replay, never by the
+	// interpreter.
+	LinesTouched int
 }
 
 // Clean reports whether no durability bugs were found.
@@ -143,6 +148,16 @@ func Check(t *trace.Trace) *Result {
 	}
 	res := &Result{}
 	tracker := pmem.NewTracker()
+	lines := make(map[uint64]bool)
+	touch := func(addr uint64, size int) {
+		last := addr
+		if size > 0 {
+			last = addr + uint64(size) - 1
+		}
+		for l := pmem.LineOf(addr); l <= pmem.LineOf(last); l += pmem.LineSize {
+			lines[l] = true
+		}
+	}
 	bySeq := make(map[int]*trace.Event)
 	reports := make(map[reportKey]*Report)
 	ckptSeen := make(map[reportKey]map[SiteKey]bool)
@@ -164,10 +179,12 @@ func Check(t *trace.Trace) *Result {
 		case trace.KindStore:
 			res.Stores++
 			bySeq[e.Seq] = e
+			touch(e.Addr, e.Size)
 			tracker.OnStore(e.Seq, e.Addr, make([]byte, e.Size))
 		case trace.KindNTStore:
 			res.Stores++
 			bySeq[e.Seq] = e
+			touch(e.Addr, e.Size)
 			tracker.OnNTStore(e.Seq, e.Addr, make([]byte, e.Size))
 		case trace.KindFlush:
 			res.Flushes++
@@ -236,6 +253,7 @@ func Check(t *trace.Trace) *Result {
 	sort.Slice(res.Reports, func(i, j int) bool {
 		return res.Reports[i].Store.Seq < res.Reports[j].Store.Seq
 	})
+	res.LinesTouched = len(lines)
 	return res
 }
 

@@ -1,0 +1,22 @@
+package static
+
+import (
+	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
+)
+
+// AnalyzeObs runs Analyze under a "static-analyze" child span of sp,
+// publishing the analysis statistics as static.* counters. With a nil
+// span it is exactly Analyze.
+func AnalyzeObs(mod *ir.Module, entry string, sp *obs.Span) (*Result, error) {
+	asp := sp.Start("static-analyze")
+	defer asp.End()
+	res, err := Analyze(mod, entry)
+	if res != nil {
+		asp.SetAttr("entry", res.Entry)
+		asp.Add("static.funcs", int64(res.Funcs))
+		asp.Add("static.reports", int64(len(res.Reports)))
+		asp.Add("static.lints", int64(len(res.Lints)))
+	}
+	return res, err
+}

@@ -114,6 +114,17 @@ func (t *Trace) Append(e *Event) *Event {
 	return e
 }
 
+// KindCounts returns the number of events of each kind, keyed by the
+// kind's textual name — the per-run PM-event breakdown the telemetry
+// layer publishes as trace.event.* counters.
+func (t *Trace) KindCounts() map[string]int {
+	out := make(map[string]int)
+	for _, e := range t.Events {
+		out[e.Kind.String()]++
+	}
+	return out
+}
+
 // Stores returns the store and non-temporal-store events.
 func (t *Trace) Stores() []*Event {
 	var out []*Event
