@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench metrics-smoke
+.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,27 @@ metrics-smoke:
 	OBS_SMOKE_DIR=$$dir $(GO) test ./internal/obs/ -run TestValidateSmokeArtifacts -count=1; \
 	status=$$?; rm -rf $$dir; exit $$status
 
+# crash-smoke proves the crash-injection validation engine end to end on
+# testdata/crash_smoke.pmc: the buggy build must FAIL `pmvm -crash`
+# (a mid-run schedule loses the published payload), and
+# `hippocrates -crashcheck` must repair it and revalidate every crash
+# schedule cleanly.
+crash-smoke:
+	@if $(GO) run ./cmd/pmvm -crash testdata/crash_smoke.pmc >/dev/null 2>&1; then \
+		echo "crash-smoke: buggy build unexpectedly survived -crash"; exit 1; \
+	else \
+		echo "crash-smoke: buggy build fails -crash as expected"; \
+	fi
+	$(GO) run ./cmd/hippocrates -crashcheck testdata/crash_smoke.pmc
+
 # verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
 # full suite under the race detector, the agreement harness, and the
-# telemetry smoke test.
+# telemetry and crash-validation smoke tests.
 verify: vet build
 	$(GO) test -race ./...
 	$(MAKE) agreement
 	$(MAKE) metrics-smoke
+	$(MAKE) crash-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -19,6 +19,14 @@
 //	-show-scores      print the heuristic's candidate scores
 //	-diff             print a line diff of the repaired IR
 //	-flush KIND       inserted flush flavour: clwb (default) | clflushopt | clflush
+//	-crashcheck       after repair, crash-inject the repaired module at PM
+//	                  event boundaries and require its recovery entries to
+//	                  accept every feasible post-crash image
+//	-invariant NAME   structural recovery entry for -crashcheck
+//	                  (default invariant_check; "-" disables)
+//	-recovery NAME    durability-promise recovery entry for -crashcheck
+//	                  (default crash_check; "-" disables)
+//	-steplimit N      instruction budget per interpreter run (default 100M)
 //	-metrics FILE     write counters/histograms/phase timings as JSON
 //	-spans FILE       write the span tree as Chrome trace_event JSON
 //	-audit            print the repair audit trail
@@ -37,6 +45,7 @@ import (
 
 	"hippocrates/internal/cli"
 	"hippocrates/internal/core"
+	"hippocrates/internal/crashsim"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
@@ -52,21 +61,46 @@ func main() {
 	showScores := flag.Bool("show-scores", false, "print heuristic candidate scores")
 	showDiff := flag.Bool("diff", false, "print a line diff of the repaired IR")
 	flushKind := flag.String("flush", "clwb", "inserted flush flavour: clwb | clflushopt | clflush")
+	crashCheck := flag.Bool("crashcheck", false, "crash-schedule validation of the repaired module")
+	invariant := flag.String("invariant", "", "structural recovery entry for -crashcheck (default invariant_check)")
+	recovery := flag.String("recovery", "", "durability-promise recovery entry for -crashcheck (default crash_check)")
+	var limits cli.LimitFlags
+	limits.Register()
 	var obsFlags cli.ObsFlags
 	obsFlags.Register()
 	flag.Parse()
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, "hippocrates:", msg)
+		os.Exit(2)
+	}
+	if err := limits.Validate(); err != nil {
+		usage(err.Error())
+	}
+	if !*crashCheck {
+		if *invariant != "" {
+			usage("-invariant only applies with -crashcheck")
+		}
+		if *recovery != "" {
+			usage("-recovery only applies with -crashcheck")
+		}
+	} else if *tracePath != "" {
+		usage("-crashcheck re-executes the program; it cannot be combined with -trace")
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hippocrates [flags] program.pmc")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *intraOnly, *showFixes, *showScores, *showDiff, obsFlags); err != nil {
+	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *invariant, *recovery,
+		*intraOnly, *showFixes, *showScores, *showDiff, *crashCheck, limits, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hippocrates:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFixes, showScores, showDiff bool, obsFlags cli.ObsFlags) error {
+func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery string,
+	intraOnly, showFixes, showScores, showDiff, crashCheck bool,
+	limits cli.LimitFlags, obsFlags cli.ObsFlags) error {
 	// The recorder is always on: the default end-of-run summary needs the
 	// phase timings, and a CLI run only creates phase-level spans.
 	rec := obs.New()
@@ -85,7 +119,12 @@ func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFi
 	if showDiff {
 		before = ir.Print(mod)
 	}
-	opts := core.Options{DisableHoisting: intraOnly, Obs: root}
+	opts := core.Options{DisableHoisting: intraOnly, Obs: root, StepLimit: limits.StepLimit}
+	if crashCheck {
+		opts.CrashCheck = &crashsim.Options{
+			Invariant: invariant, Recovery: recovery, Log: os.Stdout,
+		}
+	}
 	switch flushKind {
 	case "clwb":
 		opts.FlushKind = ir.CLWB
@@ -159,11 +198,16 @@ func run(path, entry, out, tracePath, marks, flushKind string, intraOnly, showFi
 		fmt.Println("hippocrates: repair diff:")
 		fmt.Print(cli.DiffLines(before, ir.Print(mod)))
 	}
+	if res.Crash != nil {
+		fmt.Print(res.Crash.Summary())
+	}
 	repairErr := error(nil)
 	if res.Fixed() {
 		fmt.Println("hippocrates: repaired module is clean under the bug finder")
 	} else {
-		fmt.Print(res.After.Summary())
+		if !res.After.Clean() {
+			fmt.Print(res.After.Summary())
+		}
 		repairErr = fmt.Errorf("repair incomplete")
 	}
 	if out != "" && repairErr == nil {

@@ -15,6 +15,7 @@
 //	-trace FILE    also save the generated trace
 //	-replay FILE   analyze an existing trace instead of running
 //	-static        static persistency-state analysis; no execution
+//	-steplimit N   instruction budget per interpreter run (default 100M)
 //	-metrics FILE  write counters/histograms/phase timings as JSON
 //	-spans FILE    write the span tree as Chrome trace_event JSON
 //	-audit         print the repair audit trail
@@ -50,6 +51,8 @@ func main() {
 	saveTrace := flag.String("trace", "", "save the generated trace to this file")
 	replay := flag.String("replay", "", "analyze an existing trace file")
 	staticMode := flag.Bool("static", false, "static persistency-state analysis instead of executing")
+	var limits cli.LimitFlags
+	limits.Register()
 	var obsFlags cli.ObsFlags
 	obsFlags.Register()
 	flag.Parse()
@@ -58,6 +61,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, msg)
 		os.Exit(2)
 	}
+	if err := limits.Validate(); err != nil {
+		usage("pmcheck: " + err.Error())
+	}
+	stepLimitSet := false
+	flag.Visit(func(f *flag.Flag) { stepLimitSet = stepLimitSet || f.Name == "steplimit" })
 	if *replay != "" {
 		// A replayed trace carries no program, so flags that select or
 		// inspect one cannot be honored; reject them rather than letting
@@ -69,11 +77,16 @@ func main() {
 			usage("pmcheck: -replay and -static are mutually exclusive")
 		case entrySet:
 			usage("pmcheck: -replay analyzes a saved trace; -entry has no effect (drop it)")
+		case stepLimitSet:
+			usage("pmcheck: -replay never executes; -steplimit has no effect (drop it)")
 		case flag.NArg() > 0:
 			usage("pmcheck: -replay takes no program argument (got " + flag.Arg(0) + ")")
 		case obsFlags.Audit:
 			usage("pmcheck: -audit needs the program to repair; it cannot be combined with -replay")
 		}
+	}
+	if *staticMode && stepLimitSet {
+		usage("pmcheck: -static never executes; -steplimit has no effect (drop it)")
 	}
 
 	rec := obsFlags.NewRecorder()
@@ -133,7 +146,7 @@ func main() {
 			break
 		}
 		root.SetAttr("program", flag.Arg(0))
-		tr, err = core.TraceModuleObs(root, mod, *entry)
+		tr, err = core.TraceModuleOpts(root, mod, *entry, core.Options{StepLimit: limits.StepLimit})
 	default:
 		fmt.Fprintln(os.Stderr, "usage: pmcheck [flags] program.pmc | pmcheck -replay trace.pmtrace")
 		flag.PrintDefaults()
@@ -159,7 +172,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmcheck: shadow repair:", rerr)
 		} else {
 			rsp := root.Start("revalidate")
-			if tr2, terr := core.TraceModuleObs(rsp, mod, *entry); terr != nil {
+			if tr2, terr := core.TraceModuleOpts(rsp, mod, *entry, core.Options{StepLimit: limits.StepLimit}); terr != nil {
 				fmt.Fprintln(os.Stderr, "pmcheck: shadow revalidation:", terr)
 			} else {
 				pmcheck.CheckObs(rsp, tr2)

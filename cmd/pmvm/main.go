@@ -8,14 +8,23 @@
 //
 // Flags:
 //
-//	-entry NAME    entry function (default "main")
-//	-trace FILE    write the PM-operation trace to FILE
-//	-print-ir      print the lowered IR instead of running
-//	-max-steps N   instruction budget (default 100M)
-//	-metrics FILE  write counters/histograms/phase timings as JSON
-//	-spans FILE    write the span tree as Chrome trace_event JSON
-//	-audit         print the repair audit trail (always empty here: pmvm
-//	               executes, it never repairs)
+//	-entry NAME      entry function (default "main")
+//	-trace FILE      write the PM-operation trace to FILE
+//	-print-ir        print the lowered IR instead of running
+//	-steplimit N     instruction budget per run (default 100M)
+//	-crash           crash-schedule validation: crash the program at PM
+//	                 event boundaries and run its recovery entries on
+//	                 every feasible post-crash image (exit 1 on failure)
+//	-invariant NAME  structural recovery entry for -crash
+//	                 (default invariant_check; "-" disables)
+//	-recovery NAME   durability-promise recovery entry for -crash
+//	                 (default crash_check; "-" disables)
+//	-crash-points N  crash-point budget for -crash (default 256)
+//	-crash-images N  per-point schedule budget for -crash (default 16)
+//	-metrics FILE    write counters/histograms/phase timings as JSON
+//	-spans FILE      write the span tree as Chrome trace_event JSON
+//	-audit           print the repair audit trail (always empty here: pmvm
+//	                 executes, it never repairs)
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"strconv"
 
 	"hippocrates/internal/cli"
+	"hippocrates/internal/crashsim"
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/trace"
@@ -34,22 +44,59 @@ func main() {
 	entry := flag.String("entry", "main", "entry function")
 	traceOut := flag.String("trace", "", "write the PM trace to this file")
 	printIR := flag.Bool("print-ir", false, "print the lowered IR and exit")
-	maxSteps := flag.Int64("max-steps", 0, "instruction budget (0 = default)")
+	crash := flag.Bool("crash", false, "crash-schedule validation instead of a plain run")
+	invariant := flag.String("invariant", "", "structural recovery entry for -crash (default invariant_check)")
+	recovery := flag.String("recovery", "", "durability-promise recovery entry for -crash (default crash_check)")
+	crashPoints := flag.Int("crash-points", 0, "crash-point budget for -crash (0 = default)")
+	crashImages := flag.Int("crash-images", 0, "per-point schedule budget for -crash (0 = default)")
+	var limits cli.LimitFlags
+	limits.Register()
 	var obsFlags cli.ObsFlags
 	obsFlags.Register()
 	flag.Parse()
+	usage := func(msg string) {
+		fmt.Fprintln(os.Stderr, "pmvm:", msg)
+		os.Exit(2)
+	}
+	if err := limits.Validate(); err != nil {
+		usage(err.Error())
+	}
+	if !*crash {
+		// The crash-validation knobs configure a mode that is off; reject
+		// them rather than silently ignoring them.
+		switch {
+		case *invariant != "":
+			usage("-invariant only applies with -crash")
+		case *recovery != "":
+			usage("-recovery only applies with -crash")
+		case *crashPoints != 0:
+			usage("-crash-points only applies with -crash")
+		case *crashImages != 0:
+			usage("-crash-images only applies with -crash")
+		}
+	} else {
+		if *crashPoints < 0 {
+			usage("-crash-points must be >= 0")
+		}
+		if *crashImages < 0 {
+			usage("-crash-images must be >= 0")
+		}
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmvm [flags] program.pmc [intarg ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *maxSteps, obsFlags); err != nil {
+	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *crash,
+		*invariant, *recovery, *crashPoints, *crashImages, limits, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "pmvm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, argStrs []string, entry, traceOut string, printIR bool, maxSteps int64, obsFlags cli.ObsFlags) error {
+func run(path string, argStrs []string, entry, traceOut string, printIR, crash bool,
+	invariant, recovery string, crashPoints, crashImages int,
+	limits cli.LimitFlags, obsFlags cli.ObsFlags) error {
 	rec := obsFlags.NewRecorder()
 	root := rec.StartSpan("pmvm")
 	root.SetAttr("program", path)
@@ -70,11 +117,34 @@ func run(path string, argStrs []string, entry, traceOut string, printIR bool, ma
 		}
 		args[i] = uint64(v)
 	}
+
+	if crash {
+		rep, err := crashsim.Validate(mod, crashsim.Options{
+			Entry: entry, Args: args,
+			Invariant: invariant, Recovery: recovery,
+			MaxPoints: crashPoints, MaxImages: crashImages,
+			StepLimit: limits.StepLimit,
+			Obs:       root, Log: os.Stdout,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Summary())
+		root.End()
+		if err := obsFlags.Finish(rec, os.Stdout); err != nil {
+			return err
+		}
+		if !rep.Passed() {
+			return fmt.Errorf("%d crash point(s) failed recovery", len(rep.Failures))
+		}
+		return nil
+	}
+
 	var tr *trace.Trace
 	if traceOut != "" || obsFlags.Enabled() {
 		tr = &trace.Trace{Program: mod.Name}
 	}
-	mach, err := interp.New(mod, interp.Options{Trace: tr, Stdout: os.Stdout, MaxSteps: maxSteps})
+	mach, err := interp.New(mod, interp.Options{Trace: tr, Stdout: os.Stdout, StepLimit: limits.StepLimit})
 	if err != nil {
 		return err
 	}

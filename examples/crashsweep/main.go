@@ -1,21 +1,22 @@
-// The crashsweep example demonstrates exhaustive crash testing on the
-// undo-log transaction target: the repaired program is crashed at every
-// durability point, and after each crash the recovery code (transaction
-// rollback) must restore the bank's conservation invariant. The buggy
-// build breaks the invariant at several crash points; the repaired build
-// survives all of them.
+// The crashsweep example demonstrates crash-schedule validation on the
+// undo-log transaction target: the crash-injection engine walks the
+// program's PM event trace, crashes at store/flush/fence/checkpoint
+// boundaries, expands each crash into the feasible post-crash images
+// under the per-line eviction model, and runs the program's recovery
+// entries on every image. The buggy build fails mid-run schedules; the
+// repaired build survives every enumerated and sampled schedule.
 //
 // Run with: go run ./examples/crashsweep
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
+	"os"
 
 	"hippocrates/internal/core"
 	"hippocrates/internal/corpus"
-	"hippocrates/internal/interp"
+	"hippocrates/internal/crashsim"
 	"hippocrates/internal/ir"
 )
 
@@ -24,7 +25,9 @@ func main() {
 
 	buggy := p.MustCompile()
 	fmt.Println("== buggy undo-log transactions ==")
-	sweep(buggy, p.Entry)
+	if sweep(buggy, p.Entry) == 0 {
+		log.Fatal("buggy build survived every crash schedule?")
+	}
 
 	fixed := p.MustCompile()
 	res, err := core.RunAndRepair(fixed, p.Entry, core.Options{})
@@ -39,39 +42,19 @@ func main() {
 	}
 }
 
-// sweep crashes the program at every durability point and recovers from
-// each crash image, returning the number of crash points whose recovery
-// violated the conservation invariant.
+// sweep validates mod under crash injection and reports how many crash
+// schedules its recovery entries rejected.
 func sweep(mod *ir.Module, entry string) int {
-	probe, err := interp.New(mod, interp.Options{})
+	rep, err := crashsim.Validate(mod, crashsim.Options{
+		Entry:     entry,
+		MaxPoints: 96,
+		MaxImages: 8,
+		Log:       os.Stdout,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ret, err := probe.Run(entry); err != nil || ret != 0 {
-		log.Fatalf("clean run failed: ret=%d err=%v", ret, err)
-	}
-	n := probe.Checkpoints()
-	violated := 0
-	for k := 1; k <= n; k++ {
-		mach, err := interp.New(mod, interp.Options{CrashAtCheckpoint: k})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := mach.Run(entry); !errors.Is(err, interp.ErrSimulatedCrash) {
-			log.Fatalf("crash %d: %v", k, err)
-		}
-		rec, err := interp.New(mod, interp.Options{Memory: mach.CrashImage(nil), ResumePM: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		bad, err := rec.Run("invariant_check")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if bad != 0 {
-			violated++
-		}
-	}
-	fmt.Printf("crashed at each of %d durability points: %d recovery violation(s)\n", n, violated)
-	return violated
+	fmt.Printf("%d crash points, %d schedules executed: %d failure(s)\n",
+		rep.Points, rep.Schedules, len(rep.Failures))
+	return len(rep.Failures)
 }

@@ -52,12 +52,11 @@ func report(mod *ir.Module, entry string, wantClean bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	code, err := rec.Run("crash_check")
+	code, err := rec.Run("crash_check", uint64(mach.Checkpoints()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	lost, ghosts := code/100, code%100
-	fmt.Printf("crash recovery: %d committed update(s) lost, %d deleted key(s) resurrected\n", lost, ghosts)
+	fmt.Printf("crash recovery: %d committed operation(s) lost\n", code)
 	if wantClean && code != 0 {
 		log.Fatal("repaired index lost data!")
 	}

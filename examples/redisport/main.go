@@ -35,7 +35,7 @@ func main() {
 		{"Redis-pm    ", builds.Baseline},
 		{"RedisH-full ", builds.Full},
 	} {
-		mach, err := interp.New(pair.mod, interp.Options{MaxSteps: 1 << 62})
+		mach, err := interp.New(pair.mod, interp.Options{StepLimit: 1 << 62})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -24,7 +24,7 @@ func TestDiagPerOp(t *testing.T) {
 		name string
 		mod  *ir.Module
 	}{{"Redis-pm", builds.Baseline}, {"RedisH-full", builds.Full}, {"RedisH-intra", builds.Intra}} {
-		mch, err := interp.New(pair.mod, interp.Options{MaxSteps: 1 << 62})
+		mch, err := interp.New(pair.mod, interp.Options{StepLimit: 1 << 62})
 		if err != nil {
 			t.Fatal(err)
 		}

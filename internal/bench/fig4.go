@@ -185,7 +185,7 @@ func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
 func runYCSB(mod *ir.Module, cfg Fig4Config) (map[string][]float64, error) {
 	out := map[string][]float64{}
 	for _, wl := range ycsb.AllStandard() {
-		mach, err := interp.New(mod, interp.Options{MaxSteps: 1 << 62})
+		mach, err := interp.New(mod, interp.Options{StepLimit: 1 << 62})
 		if err != nil {
 			return nil, err
 		}

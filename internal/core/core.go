@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"hippocrates/internal/alias"
+	"hippocrates/internal/crashsim"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
@@ -65,6 +67,18 @@ type Options struct {
 	// default disables all telemetry at the cost of one pointer check
 	// per phase boundary.
 	Obs *obs.Span
+	// StepLimit bounds every interpreter run the pipeline makes (trace,
+	// revalidate, crash validation); 0 keeps the interpreter's default.
+	// Exceeding it surfaces as a typed *interp.LimitError.
+	StepLimit int64
+	// Deadline is the wall-clock bound for those runs (zero = none).
+	Deadline time.Time
+	// CrashCheck, when non-nil, enables the post-repair crash-schedule
+	// validation stage: the repaired module is crash-injected at PM
+	// event boundaries and its recovery entries must accept every
+	// enumerated post-crash image (see internal/crashsim). Entry, args,
+	// limits, and the obs span default to the pipeline's own.
+	CrashCheck *crashsim.Options
 }
 
 // FixKind classifies an applied fix.
@@ -280,7 +294,10 @@ func (fx *Fixer) resolve(f trace.Frame) *ir.Instr {
 
 // Repair is the whole-tool entry point: compute and apply fixes for every
 // report, verify the module, and renumber. The input module is mutated.
-func Repair(mod *ir.Module, tr *trace.Trace, res *pmcheck.Result, opts Options) (*Result, error) {
+// Internal panics (from the transform or the planner) are recovered into
+// a *PanicError, never propagated.
+func Repair(mod *ir.Module, tr *trace.Trace, res *pmcheck.Result, opts Options) (out *Result, err error) {
+	defer guard("repair", &err)
 	fx := NewFixer(mod, tr, opts)
 	if err := fx.Apply(res.Reports); err != nil {
 		return nil, err

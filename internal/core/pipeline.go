@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hippocrates/internal/crashsim"
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
@@ -20,10 +21,17 @@ type PipelineResult struct {
 	After  *pmcheck.Result
 	// Fix describes the applied fixes (nil when Before was already clean).
 	Fix *Result
+	// Crash is the crash-schedule validation report, when
+	// Options.CrashCheck requested the stage (nil otherwise).
+	Crash *crashsim.Report
 }
 
-// Fixed reports whether the module is clean after repair.
-func (p *PipelineResult) Fixed() bool { return p.After.Clean() }
+// Fixed reports whether the module is clean after repair: no detector
+// reports remain, and — when crash validation ran — every enumerated
+// crash schedule recovered cleanly.
+func (p *PipelineResult) Fixed() bool {
+	return p.After.Clean() && (p.Crash == nil || p.Crash.Passed())
+}
 
 // TraceModule executes mod's entry function on the simulator and returns
 // the recorded PM trace. As the paper does for trace generation (§5.1),
@@ -37,11 +45,21 @@ func TraceModule(mod *ir.Module, entry string, args ...uint64) (*trace.Trace, er
 // PM-event breakdown are published into the span's recorder. A nil span
 // records nothing.
 func TraceModuleObs(sp *obs.Span, mod *ir.Module, entry string, args ...uint64) (*trace.Trace, error) {
+	return TraceModuleOpts(sp, mod, entry, Options{}, args...)
+}
+
+// TraceModuleOpts is TraceModuleObs with the pipeline's resource
+// limits applied to the interpreter run. Interpreter panics are
+// recovered into a *PanicError.
+func TraceModuleOpts(sp *obs.Span, mod *ir.Module, entry string, opts Options, args ...uint64) (out *trace.Trace, err error) {
+	defer guard("trace", &err)
 	tsp := sp.Start("trace")
 	defer tsp.End()
 	tsp.SetAttr("entry", entry)
 	tr := &trace.Trace{Program: mod.Name}
-	mach, err := interp.New(mod, interp.Options{Trace: tr})
+	mach, err := interp.New(mod, interp.Options{
+		Trace: tr, StepLimit: opts.StepLimit, Deadline: opts.Deadline,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -60,20 +78,27 @@ func TraceModuleObs(sp *obs.Span, mod *ir.Module, entry string, args ...uint64) 
 // RunAndRepair runs the whole Hippocrates workflow on mod, mutating it in
 // place: trace the entry point, detect durability bugs, compute and apply
 // fixes, then re-trace and re-check to validate that the bugs are gone
-// (the validation step of §6.1). When opts.Obs is set, the phases record
-// spans under it: trace, detect, plan, apply, and a revalidate span whose
-// children are the second trace and detect.
-func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (*PipelineResult, error) {
+// (the validation step of §6.1). With Options.CrashCheck set, a fourth
+// stage crash-injects the repaired module at every sampled PM event
+// boundary and runs its recovery entries on each feasible post-crash
+// image (the report lands in PipelineResult.Crash; schedule failures are
+// data, not an error). When opts.Obs is set, the phases record spans
+// under it: trace, detect, plan, apply, a revalidate span whose children
+// are the second trace and detect, and crashsim. Panics from any phase
+// are recovered into a *PanicError: the pipeline returns errors, it
+// never takes the process down.
+func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (out *PipelineResult, err error) {
+	defer guard("pipeline", &err)
 	sp := opts.Obs
-	tr, err := TraceModuleObs(sp, mod, entry, args...)
+	tr, err := TraceModuleOpts(sp, mod, entry, opts, args...)
 	if err != nil {
 		return nil, err
 	}
 	res := pmcheck.CheckObs(sp, tr)
-	out := &PipelineResult{Trace: tr, Before: res}
+	out = &PipelineResult{Trace: tr, Before: res}
 	if res.Clean() {
 		out.After = res
-		return out, nil
+		return crashValidate(mod, entry, opts, out, args...)
 	}
 	fixRes, err := Repair(mod, tr, res, opts)
 	if err != nil {
@@ -81,12 +106,43 @@ func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (*
 	}
 	out.Fix = fixRes
 	rsp := sp.Start("revalidate")
-	defer rsp.End()
-	tr2, err := TraceModuleObs(rsp, mod, entry, args...)
+	tr2, err := TraceModuleOpts(rsp, mod, entry, opts, args...)
 	if err != nil {
+		rsp.End()
 		return nil, fmt.Errorf("re-tracing repaired module: %w", err)
 	}
 	out.After = pmcheck.CheckObs(rsp, tr2)
 	rsp.Add("revalidate.remaining_reports", int64(len(out.After.Reports)))
+	rsp.End()
+	return crashValidate(mod, entry, opts, out, args...)
+}
+
+// crashValidate runs the optional crash-schedule validation stage on the
+// (possibly just repaired) module and attaches the report.
+func crashValidate(mod *ir.Module, entry string, opts Options, out *PipelineResult, args ...uint64) (*PipelineResult, error) {
+	if opts.CrashCheck == nil {
+		return out, nil
+	}
+	copts := *opts.CrashCheck
+	if copts.Entry == "" {
+		copts.Entry = entry
+	}
+	if copts.Args == nil {
+		copts.Args = args
+	}
+	if copts.Obs == nil {
+		copts.Obs = opts.Obs
+	}
+	if copts.StepLimit == 0 {
+		copts.StepLimit = opts.StepLimit
+	}
+	if copts.Deadline.IsZero() {
+		copts.Deadline = opts.Deadline
+	}
+	rep, err := crashsim.Validate(mod, copts)
+	if err != nil {
+		return nil, fmt.Errorf("crash validation: %w", err)
+	}
+	out.Crash = rep
 	return out, nil
 }

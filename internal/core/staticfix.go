@@ -24,13 +24,14 @@ type StaticPipelineResult struct {
 // re-analyze to validate. The fixer runs on whole-program alias facts
 // (Full-AA): with no trace there is nothing for Trace-AA to refine, so a
 // TraceAA request is overridden.
-func StaticRepair(mod *ir.Module, entry string, opts Options) (*StaticPipelineResult, error) {
+func StaticRepair(mod *ir.Module, entry string, opts Options) (out *StaticPipelineResult, err error) {
+	defer guard("static repair", &err)
 	sp := opts.Obs
 	sres, err := static.AnalyzeObs(mod, entry, sp)
 	if err != nil {
 		return nil, err
 	}
-	out := &StaticPipelineResult{Before: sres}
+	out = &StaticPipelineResult{Before: sres}
 	if sres.Clean() {
 		out.After = sres
 		return out, nil

@@ -72,7 +72,9 @@ func TestPCLHTCrashRecovery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := rec.Run("crash_check")
+		// The promise entry takes the number of durability points passed;
+		// a crash at the end of the workload has passed them all.
+		got, err := rec.Run("crash_check", uint64(mach.Checkpoints()))
 		if err != nil {
 			t.Fatalf("recovery: %v", err)
 		}

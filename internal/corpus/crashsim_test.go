@@ -1,0 +1,110 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/crashsim"
+)
+
+// crashsimTargets returns every corpus program the crash-injection engine
+// can judge: targets with seeded bugs and at least one recovery entry.
+// The redis ports are excluded — they model flush-free persistency (eADR),
+// where unflushed stores are not bugs and the trace carries no evidence
+// for the schedule enumerator to work with.
+func crashsimTargets() []*Program {
+	var out []*Program
+	for _, p := range All() {
+		if strings.HasPrefix(p.Name, "redis") || len(p.Bugs) == 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestCrashsimBuggyFailsRepairedPasses is the do-no-harm acceptance gate:
+// on every non-redis target with seeded bugs, at least one injected crash
+// schedule must violate the buggy build's recovery invariants, and after
+// Hippocrates repairs the module, every enumerated and sampled schedule
+// must recover cleanly.
+func TestCrashsimBuggyFailsRepairedPasses(t *testing.T) {
+	for _, p := range crashsimTargets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := crashsim.Options{
+				Entry:     p.Entry,
+				MaxPoints: 48,
+				MaxImages: 8,
+				StepLimit: 50_000_000,
+			}
+
+			buggy, err := crashsim.Validate(p.MustCompile(), opts)
+			if err != nil {
+				t.Fatalf("buggy validate: %v", err)
+			}
+			if buggy.Passed() {
+				t.Fatalf("buggy build survived all %d schedules over %d crash points; the seeded bugs have no bite",
+					buggy.Schedules, buggy.Points)
+			}
+
+			fixed := p.MustCompile()
+			pr, err := core.RunAndRepair(fixed, p.Entry, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pr.Fixed() {
+				t.Fatalf("repair incomplete:\n%s", pr.After.Summary())
+			}
+			rep, err := crashsim.Validate(fixed, opts)
+			if err != nil {
+				t.Fatalf("repaired validate: %v", err)
+			}
+			if !rep.Passed() {
+				t.Fatalf("repaired build failed %d crash schedule(s); first: %s",
+					len(rep.Failures), rep.Failures[0])
+			}
+			if rep.Points < 1 || rep.Schedules < 1 {
+				t.Fatalf("degenerate validation: %d points, %d schedules", rep.Points, rep.Schedules)
+			}
+		})
+	}
+}
+
+// TestCrashsimMidRunFailures pins the engine's reason for existing: for
+// the stateful extension targets the buggy build must fail at a crash
+// point strictly before the end of the workload (a mid-run schedule, not
+// just the final image), proving the injector explores interior states.
+func TestCrashsimMidRunFailures(t *testing.T) {
+	for _, name := range []string{"pclht", "nvtree", "pmlog"} {
+		p := ByName(name)
+		if p == nil {
+			t.Fatalf("no corpus program %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := crashsim.Validate(p.MustCompile(), crashsim.Options{
+				Entry:     p.Entry,
+				MaxPoints: 64,
+				MaxImages: 8,
+				StepLimit: 50_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid := false
+			for _, f := range rep.Failures {
+				if f.Event < rep.TotalEvents {
+					mid = true
+					break
+				}
+			}
+			if !mid {
+				t.Errorf("no mid-run failure among %d failure(s) over %d events",
+					len(rep.Failures), rep.TotalEvents)
+			}
+		})
+	}
+}

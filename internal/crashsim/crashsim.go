@@ -1,0 +1,475 @@
+// Package crashsim is the crash-injection validation engine: it turns
+// the repo's "do no harm" claim from a single end-of-run spot check into
+// a validated property over crash schedules.
+//
+// The engine walks a program's PM event stream (stores, NT-stores,
+// flushes, fences, durability points), injects a crash at every event
+// boundary (exhaustively on small traces, by deterministic stratified
+// sampling above a budget), expands each crash point into the set of
+// feasible post-crash PM images, and boots a fresh interpreter on every
+// image to run the program's declared recovery entrypoints. A recovery
+// entry fails a schedule by returning non-zero, tripping pm_assert, or
+// faulting.
+//
+// # Schedule model
+//
+// The feasible images follow the pmem.Tracker state machine at cache-line
+// granularity: a line writes back to PM atomically and cumulatively, so
+// at a crash the line's durable content is some *prefix* of its pending
+// store sequence (the content at its last eviction), chosen independently
+// per line. A crash point with pending lines of sizes n_1..n_L therefore
+// has Π(n_i+1) feasible images — not 2^stores: arbitrary subsets within
+// a line are not reachable by any eviction order.
+//
+// # Recovery-entry contract
+//
+// Programs declare up to two entries, both taking either no parameter or
+// one int (the number of durability points passed before the crash):
+//
+//   - invariant_check: a structural consistency predicate that must hold
+//     on every feasible image of a correct build, at every crash point.
+//     It may not assume any unfenced data arrived or is ordered.
+//   - crash_check: the durability promise anchored at durability points.
+//     It runs only when the crash lands on a checkpoint event, where a
+//     repaired build provably has an empty pending set (that is exactly
+//     what Hippocrates' fixes guarantee), so its promises are checkable
+//     without false positives. A no-parameter crash_check states the
+//     whole workload's promises and runs only at the final durability
+//     point.
+package crashsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hippocrates/internal/interp"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
+)
+
+// DefaultMaxPoints bounds how many crash points are simulated when
+// Options.MaxPoints is zero. Checkpoint events are always included.
+const DefaultMaxPoints = 256
+
+// DefaultMaxImages bounds the feasible images enumerated per crash point
+// when Options.MaxImages is zero.
+const DefaultMaxImages = 16
+
+// Options configures one validation run.
+type Options struct {
+	// Entry is the workload entrypoint (default "main"); Args its
+	// integer arguments.
+	Entry string
+	Args  []uint64
+	// Invariant and Recovery name the two recovery entries (defaults
+	// "invariant_check" and "crash_check"). A named entry that the
+	// module does not define is skipped; if neither exists, Validate
+	// returns an error. Set a name to "-" to disable that entry even
+	// when the module defines it.
+	Invariant string
+	Recovery  string
+	// MaxPoints bounds simulated crash points (0 = DefaultMaxPoints).
+	// All checkpoint events are always kept; the remaining budget is
+	// spread evenly over the other events, and the pruning is logged.
+	MaxPoints int
+	// MaxImages bounds feasible images per crash point (0 =
+	// DefaultMaxImages). Below the bound enumeration is exhaustive;
+	// above it, corner schedules (nothing evicted / everything evicted),
+	// single-line deviations, and seeded pseudo-random schedules fill
+	// the budget deterministically.
+	MaxImages int
+	// Workers sizes the parallel crash-point pool (0 = GOMAXPROCS,
+	// capped at 8).
+	Workers int
+	// Seed drives the deterministic schedule sampling (0 means 1).
+	Seed int64
+	// StepLimit / Deadline bound every interpreter run the engine makes
+	// (the probe, each crashed workload, each recovery run).
+	StepLimit int64
+	Deadline  time.Time
+	// Obs receives "crashsim" child spans and schedule counters.
+	Obs *obs.Span
+	// Log, when non-nil, receives pruning notices and per-failure lines.
+	Log io.Writer
+}
+
+// Failure describes one failed crash schedule: the crash point, the
+// per-line eviction prefix that produced the image, and how recovery
+// rejected it.
+type Failure struct {
+	// Event is the 1-based PM event index the crash was injected at.
+	Event int
+	// Kind is the event's kind (store, flush, fence, checkpoint, ...).
+	Kind interp.PMEventKind
+	// Completed is the number of durability points passed before the
+	// crash (the argument handed to parameterized recovery entries).
+	Completed int
+	// Cuts is the failing schedule: entry i is how many of pending line
+	// i's stores reached PM (see pmem.Tracker.PendingLines).
+	Cuts []int
+	// Entry is the recovery entrypoint that rejected the image.
+	Entry string
+	// Err is the recovery error (pm_assert, fault, limit), or nil when
+	// the entry returned the non-zero value Ret instead.
+	Err error
+	Ret uint64
+}
+
+func (f Failure) String() string {
+	how := fmt.Sprintf("returned %d", int64(f.Ret))
+	if f.Err != nil {
+		how = firstLine(f.Err.Error())
+	}
+	return fmt.Sprintf("crash at event %d (%s, %d checkpoint(s) done), schedule %v: @%s %s",
+		f.Event, f.Kind, f.Completed, f.Cuts, f.Entry, how)
+}
+
+// Report is the outcome of one validation run.
+type Report struct {
+	// TotalEvents is the PM event count of the workload; Points of them
+	// were crash-injected and PrunedPoints skipped under MaxPoints.
+	TotalEvents  int
+	Points       int
+	PrunedPoints int
+	// Schedules counts executed post-crash images; PrunedSchedules
+	// counts feasible images that the per-point budget skipped.
+	Schedules       int
+	PrunedSchedules int64
+	// Failures holds the first failing schedule of every failed crash
+	// point, ordered by event index.
+	Failures []Failure
+	// InvariantEntry / RecoveryEntry are the entries actually run (""
+	// when absent).
+	InvariantEntry string
+	RecoveryEntry  string
+}
+
+// Passed reports whether every executed schedule recovered cleanly.
+func (r *Report) Passed() bool { return len(r.Failures) == 0 }
+
+// Summary renders the report for CLI output.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crashsim: %d crash point(s) of %d PM events, %d schedule(s) executed",
+		r.Points, r.TotalEvents, r.Schedules)
+	if r.PrunedPoints > 0 || r.PrunedSchedules > 0 {
+		fmt.Fprintf(&b, " (pruned: %d point(s), %d schedule(s))", r.PrunedPoints, r.PrunedSchedules)
+	}
+	b.WriteString("\n")
+	if r.Passed() {
+		b.WriteString("crashsim: all schedules recovered cleanly\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "crashsim: %d crash point(s) FAILED recovery:\n", len(r.Failures))
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// entrySpec is a resolved recovery entry.
+type entrySpec struct {
+	name  string
+	arity int
+}
+
+// Validate crash-injects mod's workload and checks every enumerated
+// post-crash image against the module's recovery entries. The returned
+// error covers engine-level problems (missing entries, a workload that
+// does not complete); schedule failures land in the report.
+func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("crashsim: panic during validation: %v\n%s", r, buf)
+		}
+	}()
+
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	if opts.Invariant == "" {
+		opts.Invariant = "invariant_check"
+	}
+	if opts.Recovery == "" {
+		opts.Recovery = "crash_check"
+	}
+	if opts.MaxPoints <= 0 {
+		opts.MaxPoints = DefaultMaxPoints
+	}
+	if opts.MaxImages <= 0 {
+		opts.MaxImages = DefaultMaxImages
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+		if opts.Workers > 8 {
+			opts.Workers = 8
+		}
+	}
+
+	inv, err := resolveEntry(mod, opts.Invariant)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := resolveEntry(mod, opts.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	if inv == nil && rec == nil {
+		return nil, fmt.Errorf("crashsim: module declares neither @%s nor @%s; nothing to validate",
+			opts.Invariant, opts.Recovery)
+	}
+
+	sp := opts.Obs.Start("crashsim")
+	defer sp.End()
+	sp.SetAttr("entry", opts.Entry)
+
+	// Probe run: learn the PM event stream (and renumber the module once,
+	// so the parallel workers below share it read-only).
+	probe, err := interp.New(mod, interp.Options{StepLimit: opts.StepLimit, Deadline: opts.Deadline})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := probe.Run(opts.Entry, opts.Args...); err != nil {
+		return nil, fmt.Errorf("crashsim: workload @%s did not complete: %w", opts.Entry, err)
+	}
+	log := append([]interp.PMEventKind(nil), probe.PMEventLog()...)
+
+	points := selectPoints(log, opts.MaxPoints, inv != nil, rec)
+	rep = &Report{TotalEvents: len(log), Points: len(points), PrunedPoints: len(log) - len(points)}
+	if inv != nil {
+		rep.InvariantEntry = inv.name
+	}
+	if rec != nil {
+		rep.RecoveryEntry = rec.name
+	}
+	if rep.PrunedPoints > 0 && opts.Log != nil {
+		fmt.Fprintf(opts.Log, "crashsim: simulating %d of %d PM events (%d pruned or ineligible; every eligible checkpoint kept)\n",
+			len(points), len(log), rep.PrunedPoints)
+	}
+
+	// completed[i] = durability points passed once event points[i] (its
+	// own checkpoint included) has executed.
+	ckptsUpTo := make([]int, len(log)+1)
+	for i, k := range log {
+		ckptsUpTo[i+1] = ckptsUpTo[i]
+		if k == interp.EvCheckpoint {
+			ckptsUpTo[i+1]++
+		}
+	}
+	lastEvent := len(log)
+
+	type pointResult struct {
+		schedules int
+		pruned    int64
+		failure   *Failure
+		err       error
+	}
+	results := make([]pointResult, len(points))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				res := &results[idx]
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 16<<10)
+							buf = buf[:runtime.Stack(buf, false)]
+							res.err = fmt.Errorf("crashsim: panic at crash point %d: %v\n%s", points[idx], r, buf)
+						}
+					}()
+					res.schedules, res.pruned, res.failure, res.err = crashPoint(
+						mod, opts, inv, rec, points[idx], log[points[idx]-1],
+						ckptsUpTo[points[idx]], points[idx] == lastEvent)
+				}()
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+		rep.Schedules += res.schedules
+		rep.PrunedSchedules += res.pruned
+		if res.failure != nil {
+			rep.Failures = append(rep.Failures, *res.failure)
+		}
+	}
+	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].Event < rep.Failures[j].Event })
+	if opts.Log != nil {
+		for _, f := range rep.Failures {
+			fmt.Fprintf(opts.Log, "crashsim: FAIL %s\n", f)
+		}
+	}
+	sp.Add("crash.points", int64(rep.Points))
+	sp.Add("crash.points_pruned", int64(rep.PrunedPoints))
+	sp.Add("crash.schedules", int64(rep.Schedules))
+	sp.Add("crash.schedules_pruned", rep.PrunedSchedules)
+	sp.Add("crash.failures", int64(len(rep.Failures)))
+	return rep, nil
+}
+
+// crashPoint re-runs the workload to crash at event k, enumerates the
+// feasible images there, and recovers each. It returns the first failing
+// schedule (enumeration at this point stops there: the point is failed).
+func crashPoint(mod *ir.Module, opts Options, inv, rec *entrySpec, k int, kind interp.PMEventKind, completed int, last bool) (int, int64, *Failure, error) {
+	mach, err := interp.New(mod, interp.Options{
+		CrashAtEvent: k, StepLimit: opts.StepLimit, Deadline: opts.Deadline,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if _, err := mach.Run(opts.Entry, opts.Args...); !errors.Is(err, interp.ErrSimulatedCrash) {
+		return 0, 0, nil, fmt.Errorf("crashsim: crash at event %d did not fire (err=%v)", k, err)
+	}
+
+	lines := mach.Track.PendingLines()
+	sizes := make([]int, len(lines))
+	for i, pl := range lines {
+		sizes[i] = len(pl.Stores)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + int64(k)*1_000_003))
+	schedules, feasible := enumerateCuts(sizes, opts.MaxImages, rng)
+	pruned := feasible - int64(len(schedules))
+
+	executed := 0
+	for _, cuts := range schedules {
+		executed++
+		f, err := recoverImage(mod, opts, mach, inv, rec, cuts, k, kind, completed, last)
+		if err != nil {
+			return executed, pruned, nil, err
+		}
+		if f != nil {
+			return executed, pruned, f, nil
+		}
+	}
+	return executed, pruned, nil, nil
+}
+
+// recoverImage builds the image for one schedule and runs the applicable
+// recovery entries on it. A non-nil Failure means the schedule failed;
+// a non-nil error means the engine itself broke.
+func recoverImage(mod *ir.Module, opts Options, mach *interp.Machine, inv, rec *entrySpec, cuts []int, k int, kind interp.PMEventKind, completed int, last bool) (*Failure, error) {
+	runEntry := func(e *entrySpec) (*Failure, error) {
+		img := mach.CrashImageCuts(cuts)
+		m2, err := interp.New(mod, interp.Options{
+			Memory: img, ResumePM: true,
+			StepLimit: opts.StepLimit, Deadline: opts.Deadline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var args []uint64
+		if e.arity == 1 {
+			args = []uint64{uint64(completed)}
+		}
+		ret, err := m2.Run(e.name, args...)
+		if err != nil || ret != 0 {
+			return &Failure{
+				Event: k, Kind: kind, Completed: completed,
+				Cuts: append([]int(nil), cuts...), Entry: e.name, Err: err, Ret: ret,
+			}, nil
+		}
+		return nil, nil
+	}
+
+	if inv != nil {
+		if f, err := runEntry(inv); f != nil || err != nil {
+			return f, err
+		}
+	}
+	// The promise entry is anchored at durability points: parameterized
+	// entries run at every checkpoint-event crash, no-parameter entries
+	// only at the final one (they state whole-workload promises).
+	if rec != nil && kind == interp.EvCheckpoint && (rec.arity == 1 || last) {
+		if f, err := runEntry(rec); f != nil || err != nil {
+			return f, err
+		}
+	}
+	return nil, nil
+}
+
+// resolveEntry looks up a recovery entry and checks its shape: defined,
+// and taking either no parameter or a single integer. A missing entry is
+// nil (skipped); "-" disables lookup.
+func resolveEntry(mod *ir.Module, name string) (*entrySpec, error) {
+	if name == "-" {
+		return nil, nil
+	}
+	fn := mod.Func(name)
+	if fn == nil || fn.IsDecl() {
+		return nil, nil
+	}
+	if len(fn.Params) > 1 {
+		return nil, fmt.Errorf("crashsim: recovery entry @%s takes %d parameters; want 0, or 1 (checkpoints completed)",
+			name, len(fn.Params))
+	}
+	return &entrySpec{name: name, arity: len(fn.Params)}, nil
+}
+
+// selectPoints picks the crash points to simulate: every checkpoint
+// event always, plus an even deterministic spread of the remaining
+// events up to budget. Events where no entry could run are skipped
+// outright (they count as pruned): without an invariant entry a
+// non-checkpoint crash has nothing to validate, and an arity-0 promise
+// entry only speaks about the final durability point.
+func selectPoints(log []interp.PMEventKind, budget int, invAll bool, rec *entrySpec) []int {
+	lastCkpt := 0
+	for i, k := range log {
+		if k == interp.EvCheckpoint {
+			lastCkpt = i + 1
+		}
+	}
+	var ckpts, rest []int
+	for i, k := range log {
+		switch {
+		case k == interp.EvCheckpoint:
+			if !invAll && rec != nil && rec.arity == 0 && i+1 != lastCkpt {
+				continue
+			}
+			ckpts = append(ckpts, i+1)
+		case invAll:
+			rest = append(rest, i+1)
+		}
+	}
+	points := append([]int(nil), ckpts...)
+	room := budget - len(points)
+	if room >= len(rest) {
+		points = append(points, rest...)
+	} else if room > 0 {
+		// Evenly spaced sample over the non-checkpoint events.
+		for i := 0; i < room; i++ {
+			points = append(points, rest[i*len(rest)/room])
+		}
+	}
+	sort.Ints(points)
+	return points
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package crashsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hippocrates/internal/interp"
+)
+
+func TestExhaustiveCutsCoversSpace(t *testing.T) {
+	sizes := []int{2, 0, 3}
+	got := exhaustiveCuts(sizes)
+	want := (2 + 1) * (0 + 1) * (3 + 1)
+	if len(got) != want {
+		t.Fatalf("enumerated %d schedules, want %d", len(got), want)
+	}
+	seen := map[string]bool{}
+	for _, cuts := range got {
+		if len(cuts) != len(sizes) {
+			t.Fatalf("schedule %v has wrong arity", cuts)
+		}
+		for i, c := range cuts {
+			if c < 0 || c > sizes[i] {
+				t.Fatalf("schedule %v out of bounds at line %d", cuts, i)
+			}
+		}
+		k := cutsKey(cuts)
+		if seen[k] {
+			t.Fatalf("duplicate schedule %v", cuts)
+		}
+		seen[k] = true
+	}
+}
+
+func TestEnumerateCutsExhaustiveWhenSmall(t *testing.T) {
+	sizes := []int{1, 2}
+	got, feasible := enumerateCuts(sizes, 16, rand.New(rand.NewSource(1)))
+	if feasible != 6 {
+		t.Fatalf("feasible = %d, want 6", feasible)
+	}
+	if len(got) != 6 {
+		t.Fatalf("exhaustive enumeration returned %d schedules, want 6", len(got))
+	}
+}
+
+func TestEnumerateCutsSampling(t *testing.T) {
+	sizes := []int{3, 3, 3, 3, 3} // 4^5 = 1024 feasible
+	budget := 20
+	a, feasible := enumerateCuts(sizes, budget, rand.New(rand.NewSource(7)))
+	if feasible != 1024 {
+		t.Fatalf("feasible = %d, want 1024", feasible)
+	}
+	if len(a) != budget {
+		t.Fatalf("sampled %d schedules, want the full budget %d", len(a), budget)
+	}
+	// Deterministic: the same seed reproduces the same selection.
+	b, _ := enumerateCuts(sizes, budget, rand.New(rand.NewSource(7)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sampling is not deterministic for a fixed seed")
+	}
+	// The all-zero corner (the historical worst-case spot check) is
+	// always the first schedule; the all-max corner is present too.
+	if !reflect.DeepEqual(a[0], []int{0, 0, 0, 0, 0}) {
+		t.Fatalf("first schedule = %v, want the all-zero corner", a[0])
+	}
+	foundFull := false
+	seen := map[string]bool{}
+	for _, cuts := range a {
+		if reflect.DeepEqual(cuts, []int{3, 3, 3, 3, 3}) {
+			foundFull = true
+		}
+		for i, c := range cuts {
+			if c < 0 || c > sizes[i] {
+				t.Fatalf("schedule %v out of bounds at line %d", cuts, i)
+			}
+		}
+		k := cutsKey(cuts)
+		if seen[k] {
+			t.Fatalf("duplicate schedule %v", cuts)
+		}
+		seen[k] = true
+	}
+	if !foundFull {
+		t.Fatal("all-max corner missing from the sample")
+	}
+}
+
+func TestEnumerateCutsOverflowGuard(t *testing.T) {
+	sizes := make([]int, 64)
+	for i := range sizes {
+		sizes[i] = 1 << 10
+	}
+	got, feasible := enumerateCuts(sizes, 8, rand.New(rand.NewSource(3)))
+	if feasible != maxFeasible {
+		t.Fatalf("feasible = %d, want the %d cap", feasible, maxFeasible)
+	}
+	if len(got) != 8 {
+		t.Fatalf("sampled %d schedules, want 8", len(got))
+	}
+}
+
+func TestSelectPointsKeepsEligibleCheckpoints(t *testing.T) {
+	s, f, c := interp.EvStore, interp.EvFlush, interp.EvCheckpoint
+	log := []interp.PMEventKind{s, f, c, s, s, f, c, s, c}
+	arity1 := &entrySpec{name: "crash_check", arity: 1}
+	arity0 := &entrySpec{name: "crash_check", arity: 0}
+
+	// Invariant present: every event is eligible, checkpoints always kept.
+	got := selectPoints(log, 4, true, arity1)
+	for _, ck := range []int{3, 7, 9} {
+		if !containsInt(got, ck) {
+			t.Fatalf("budget 4: checkpoint event %d dropped (got %v)", ck, got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("budget 4: selected %d points %v", len(got), got)
+	}
+
+	// Big budget: everything simulated.
+	if got := selectPoints(log, 100, true, arity1); len(got) != len(log) {
+		t.Fatalf("budget 100: selected %v, want all %d events", got, len(log))
+	}
+
+	// No invariant entry: only checkpoint events can run anything.
+	if got := selectPoints(log, 100, false, arity1); !reflect.DeepEqual(got, []int{3, 7, 9}) {
+		t.Fatalf("no invariant: selected %v, want the checkpoint events", got)
+	}
+
+	// No invariant and an arity-0 promise: only the final checkpoint.
+	if got := selectPoints(log, 100, false, arity0); !reflect.DeepEqual(got, []int{9}) {
+		t.Fatalf("arity-0 promise: selected %v, want only the final checkpoint", got)
+	}
+
+	// Points come out sorted regardless of sampling order.
+	got = selectPoints(log, 5, true, arity1)
+	if !sortedInts(got) {
+		t.Fatalf("points not sorted: %v", got)
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedInts(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}

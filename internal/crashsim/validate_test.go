@@ -1,0 +1,214 @@
+package crashsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/crashsim"
+	"hippocrates/internal/lang"
+)
+
+// srcPublish is a minimal unflushed-payload bug: the payload store never
+// reaches PM, yet the flag that publishes it does. The invariant entry is
+// eviction-safe (only values actually stored may appear); the durability
+// promise — checkpoint passed means both words are durable — anchors at
+// the checkpoint, where a repaired build provably has nothing pending.
+const srcPublish = `
+pm int payload;
+pm int flag;
+
+int invariant_check() {
+	if (payload != 0 && payload != 42) { return 1; }
+	if (flag != 0 && flag != 1) { return 2; }
+	return 0;
+}
+
+int crash_check(int completed) {
+	if (completed >= 1) {
+		if (payload != 42) { return 1; }
+		if (flag != 1) { return 2; }
+	}
+	return 0;
+}
+
+int main() {
+	payload = 42; // missing flush
+	flag = 1;
+	clwb(&flag);
+	sfence();
+	pm_checkpoint();
+	return 0;
+}
+`
+
+func TestValidateFindsPublishBug(t *testing.T) {
+	mod := lang.MustCompile("publish.pmc", srcPublish)
+	rep, err := crashsim.Validate(mod, crashsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatalf("buggy publish survived %d schedules over %d points", rep.Schedules, rep.Points)
+	}
+	f := rep.Failures[0]
+	if f.Entry != "invariant_check" && f.Entry != "crash_check" {
+		t.Errorf("failure attributed to %q", f.Entry)
+	}
+	if f.Event < 1 || f.Event > rep.TotalEvents {
+		t.Errorf("failure event %d outside [1, %d]", f.Event, rep.TotalEvents)
+	}
+}
+
+func TestValidatePassesAfterRepair(t *testing.T) {
+	mod := lang.MustCompile("publish.pmc", srcPublish)
+	pr, err := core.RunAndRepair(mod, "main", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Fixed() {
+		t.Fatalf("repair incomplete:\n%s", pr.After.Summary())
+	}
+	rep, err := crashsim.Validate(mod, crashsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("repaired build failed: %s", rep.Failures[0])
+	}
+	if rep.Points < 1 || rep.Schedules < 1 {
+		t.Fatalf("degenerate run: %d points, %d schedules", rep.Points, rep.Schedules)
+	}
+}
+
+// srcWide pends many cache lines at once so a crash point's feasible
+// image count exceeds any small budget, forcing the sampler.
+const srcWide = `
+pm int slots[128];
+pm int done;
+
+int invariant_check() {
+	if (done == 1) {
+		for (int i = 0; i < 16; i++) {
+			if (slots[i * 16] != i + 1) { return 1 + i; }
+		}
+	}
+	return 0;
+}
+
+int main() {
+	for (int i = 0; i < 16; i++) {
+		slots[i * 16] = i + 1; // 16 distinct lines, none flushed
+	}
+	done = 1;
+	clwb(&done);
+	sfence();
+	pm_checkpoint();
+	return 0;
+}
+`
+
+// TestSampledNeverWeakerThanExhaustiveCorner: the sampler's contract is
+// that its first schedule is the all-zero corner, so any failure the
+// historical worst-case check (or an exhaustive sweep) would find at a
+// crash point is also found under the tightest image budget.
+func TestSampledNeverWeakerThanExhaustiveCorner(t *testing.T) {
+	exhaustive, err := crashsim.Validate(lang.MustCompile("wide.pmc", srcWide),
+		crashsim.Options{MaxImages: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := crashsim.Validate(lang.MustCompile("wide.pmc", srcWide),
+		crashsim.Options{MaxImages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhaustive.Passed() {
+		t.Fatal("exhaustive sweep missed the seeded publish bug")
+	}
+	if sampled.Passed() {
+		t.Fatal("sampling hid a failure the exhaustive sweep finds")
+	}
+	if sampled.PrunedSchedules == 0 {
+		t.Fatal("budget 4 never pruned; the test is not exercising the sampler")
+	}
+}
+
+// TestValidateWorkerPool drives a workload with enough crash points to
+// spread across the full worker pool (run under -race this doubles as the
+// concurrency suite for the engine).
+func TestValidateWorkerPool(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("pm int cells[256];\n")
+	b.WriteString(`
+int invariant_check() {
+	for (int i = 0; i < 16; i++) {
+		int v = cells[i * 16];
+		if (v != 0 && v != i + 1) { return 1 + i; }
+	}
+	return 0;
+}
+
+int main() {
+	for (int i = 0; i < 16; i++) {
+		cells[i * 16] = i + 1;
+		clwb(&cells[i * 16]);
+		sfence();
+		pm_checkpoint();
+	}
+	return 0;
+}
+`)
+	rep, err := crashsim.Validate(lang.MustCompile("pool.pmc", b.String()),
+		crashsim.Options{Workers: 8, MaxPoints: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("correct program failed: %s", rep.Failures[0])
+	}
+	if rep.Points < 16 {
+		t.Fatalf("only %d crash points; pool under-exercised", rep.Points)
+	}
+}
+
+// TestValidateEntryShapes covers the entry-resolution contract: a module
+// with neither entry is an error, "-" disables an entry, and a
+// two-parameter entry is rejected.
+func TestValidateEntryShapes(t *testing.T) {
+	const srcNone = `
+pm int x;
+int main() {
+	x = 1;
+	clwb(&x);
+	sfence();
+	return 0;
+}
+`
+	if _, err := crashsim.Validate(lang.MustCompile("none.pmc", srcNone), crashsim.Options{}); err == nil {
+		t.Error("module without recovery entries validated")
+	}
+
+	mod := lang.MustCompile("publish.pmc", srcPublish)
+	rep, err := crashsim.Validate(mod, crashsim.Options{Recovery: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecoveryEntry != "" || rep.InvariantEntry != "invariant_check" {
+		t.Errorf("entries = (%q, %q), want invariant only", rep.InvariantEntry, rep.RecoveryEntry)
+	}
+
+	const srcBadArity = `
+pm int x;
+int invariant_check(int a, int b) { return 0; }
+int main() {
+	x = 1;
+	clwb(&x);
+	sfence();
+	return 0;
+}
+`
+	if _, err := crashsim.Validate(lang.MustCompile("bad.pmc", srcBadArity), crashsim.Options{}); err == nil {
+		t.Error("two-parameter recovery entry accepted")
+	}
+}

@@ -24,6 +24,9 @@ import (
 //	memcpy(d, s, n) -> ptr  byte copy; PM destinations are tracked
 //	memset(d, c, n) -> ptr  byte fill; PM destinations are tracked
 //	pm_checkpoint() -> void durability point (crash may happen here)
+//	pm_assert(c, msg) -> void  recovery invariant: c == 0 aborts with a
+//	                        typed *AssertError carrying msg (crash-state
+//	                        validation treats it as a failed schedule)
 //	print_int(v) -> void    write the integer and '\n' to stdout
 //	print_str(p) -> void    write the NUL-terminated string to stdout
 //	abort_msg(p) -> void    abort execution with the given message
@@ -41,6 +44,7 @@ func registerStdBuiltins(m *Machine) {
 	m.RegisterBuiltin("memset", biMemset)
 	m.RegisterBuiltin("flush_range", biFlushRange)
 	m.RegisterBuiltin("pm_checkpoint", biCheckpoint)
+	m.RegisterBuiltin("pm_assert", biPMAssert)
 	m.RegisterBuiltin("print_int", biPrintInt)
 	m.RegisterBuiltin("print_str", biPrintStr)
 	m.RegisterBuiltin("abort_msg", biAbort)
@@ -60,6 +64,7 @@ func StdDecls() []*ir.Func {
 		ir.NewFunc("memset", ir.Ptr, p("dst"), i("c"), i("n")),
 		ir.NewFunc("flush_range", ir.Void, p("p"), i("n")),
 		ir.NewFunc("pm_checkpoint", ir.Void),
+		ir.NewFunc("pm_assert", ir.Void, i("cond"), p("msg")),
 		ir.NewFunc("print_int", ir.Void, i("v")),
 		ir.NewFunc("print_str", ir.Void, p("p")),
 		ir.NewFunc("abort_msg", ir.Void, p("p")),
@@ -123,8 +128,9 @@ func biMalloc(m *Machine, args []uint64) (uint64, error) {
 }
 
 // pmStoreChunks traces and tracks a bulk write of buf at addr, splitting
-// it into aligned chunks that never span cache lines.
-func (m *Machine) pmStoreChunks(addr uint64, buf []byte, callIn *ir.Instr) {
+// it into aligned chunks that never span cache lines. Each chunk is a PM
+// event boundary, so crash injection can land inside a builtin copy.
+func (m *Machine) pmStoreChunks(addr uint64, buf []byte, callIn *ir.Instr) error {
 	off := uint64(0)
 	n := uint64(len(buf))
 	for off < n {
@@ -138,8 +144,12 @@ func (m *Machine) pmStoreChunks(addr uint64, buf []byte, callIn *ir.Instr) {
 		m.emit(&trace.Event{Kind: trace.KindStore, Addr: a, Size: int(chunk), Stack: m.stack(callIn)})
 		m.Track.OnStore(seq, a, data)
 		m.Clock.Advance(m.cost.StorePM)
+		if err := m.pmEvent(EvStore); err != nil {
+			return err
+		}
 		off += chunk
 	}
+	return nil
 }
 
 // callInstr returns the active call instruction of the top frame (the
@@ -163,7 +173,9 @@ func biMemcpy(m *Machine, args []uint64) (uint64, error) {
 	m.Mem.Read(src, buf)
 	m.Mem.Write(dst, buf)
 	if pmem.IsPM(dst) {
-		m.pmStoreChunks(dst, buf, m.callInstr())
+		if err := m.pmStoreChunks(dst, buf, m.callInstr()); err != nil {
+			return 0, err
+		}
 	} else {
 		m.Clock.Advance(float64(n) / 8 * m.cost.StoreDRAM)
 	}
@@ -184,7 +196,9 @@ func biMemset(m *Machine, args []uint64) (uint64, error) {
 	}
 	m.Mem.Write(dst, buf)
 	if pmem.IsPM(dst) {
-		m.pmStoreChunks(dst, buf, m.callInstr())
+		if err := m.pmStoreChunks(dst, buf, m.callInstr()); err != nil {
+			return 0, err
+		}
 	} else {
 		m.Clock.Advance(float64(n) / 8 * m.cost.StoreDRAM)
 	}
@@ -210,12 +224,39 @@ func biFlushRange(m *Machine, args []uint64) (uint64, error) {
 		seq := m.seq
 		m.emit(&trace.Event{Kind: trace.KindFlush, FlushK: ir.CLWB, Addr: line, Stack: m.stack(callIn)})
 		m.Track.OnFlush(seq, false, line) // weakly ordered: pays at the fence
+		if err := m.pmEvent(EvFlush); err != nil {
+			return 0, err
+		}
 	}
 	return 0, nil
 }
 
 func biCheckpoint(m *Machine, _ []uint64) (uint64, error) {
 	return 0, m.checkpoint(m.callInstr())
+}
+
+// AssertError is the typed failure of the pm_assert builtin: a recovery
+// invariant did not hold. Crash-state validation (internal/crashsim)
+// treats it as a failed crash schedule, with the message naming the
+// violated invariant.
+type AssertError struct {
+	Msg   string
+	Stack []trace.Frame
+}
+
+func (e *AssertError) Error() string {
+	s := "interp: pm_assert failed: " + e.Msg
+	for _, f := range e.Stack {
+		s += "\n\tat " + f.String()
+	}
+	return s
+}
+
+func biPMAssert(m *Machine, args []uint64) (uint64, error) {
+	if args[0] != 0 {
+		return 0, nil
+	}
+	return 0, &AssertError{Msg: m.cString(args[1]), Stack: m.stack(m.callInstr())}
 }
 
 func biPrintInt(m *Machine, args []uint64) (uint64, error) {

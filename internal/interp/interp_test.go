@@ -568,7 +568,7 @@ func TestStepLimit(t *testing.T) {
 	b.SetBlock(loop)
 	b.Jmp(loop)
 	f.Renumber()
-	mach, err := New(m, Options{MaxSteps: 1000})
+	mach, err := New(m, Options{StepLimit: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}

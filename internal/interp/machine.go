@@ -9,6 +9,7 @@ package interp
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"hippocrates/internal/ir"
 	"hippocrates/internal/pmem"
@@ -23,8 +24,14 @@ type Options struct {
 	Trace *trace.Trace
 	// Stdout receives output from the print builtins; nil discards it.
 	Stdout io.Writer
-	// MaxSteps bounds executed instructions (0 means the 100M default).
-	MaxSteps int64
+	// StepLimit bounds executed instructions (0 means the 100M default).
+	// Exceeding it returns a *LimitError.
+	StepLimit int64
+	// Deadline, when non-zero, is the wall-clock instant after which
+	// execution aborts with a *LimitError. The check runs every few
+	// thousand instructions, so overshoot is bounded and the hot loop
+	// stays branch-cheap.
+	Deadline time.Time
 	// Memory, when non-nil, is used as the machine's memory instead of a
 	// fresh one — pass a crash image here to run recovery code. With
 	// ResumePM set, persistent globals are not re-initialized (their
@@ -38,11 +45,75 @@ type Options struct {
 	// crash, ready for CrashImage — the Yat-style exhaustive
 	// crash-testing hook.
 	CrashAtCheckpoint int
+	// CrashAtEvent, when positive, aborts execution with
+	// ErrSimulatedCrash immediately after the Nth PM event boundary
+	// (1-based over stores, NT-stores, flushes, fences, and durability
+	// points — the numbering PMEventLog reports). The event's tracker
+	// effect has already been applied when the crash fires, so the
+	// machine holds the exact durability state an eviction-order
+	// enumerator needs (see internal/crashsim).
+	CrashAtEvent int
 }
 
-// ErrSimulatedCrash is returned by Run when Options.CrashAtCheckpoint
-// fires. The machine remains inspectable.
+// ErrSimulatedCrash is returned by Run when Options.CrashAtCheckpoint or
+// Options.CrashAtEvent fires. The machine remains inspectable.
 var ErrSimulatedCrash = fmt.Errorf("interp: simulated crash at durability point")
+
+// LimitError reports that execution exceeded a configured resource
+// limit: the instruction budget (Options.StepLimit) or the wall-clock
+// deadline (Options.Deadline). It is how adversarial or generated
+// programs fail — a typed, recoverable error rather than a hang.
+type LimitError struct {
+	// Resource is "steps" or "deadline".
+	Resource string
+	// Steps is the instruction count when the limit fired.
+	Steps int64
+	// Limit is the configured step budget (Resource == "steps").
+	Limit int64
+	// Stack is the simulated call stack at the point of interruption.
+	Stack []trace.Frame
+}
+
+func (e *LimitError) Error() string {
+	var s string
+	if e.Resource == "deadline" {
+		s = fmt.Sprintf("interp: wall-clock deadline exceeded after %d steps", e.Steps)
+	} else {
+		s = fmt.Sprintf("interp: step limit exceeded (%d)", e.Limit)
+	}
+	for _, f := range e.Stack {
+		s += "\n\tat " + f.String()
+	}
+	return s
+}
+
+// PMEventKind identifies one PM event boundary for crash injection.
+type PMEventKind uint8
+
+// The PM event boundary kinds, in the order PMEventLog reports them.
+const (
+	EvStore PMEventKind = iota
+	EvNTStore
+	EvFlush
+	EvFence
+	EvCheckpoint
+)
+
+func (k PMEventKind) String() string {
+	switch k {
+	case EvStore:
+		return "store"
+	case EvNTStore:
+		return "nt-store"
+	case EvFlush:
+		return "flush"
+	case EvFence:
+		return "fence"
+	case EvCheckpoint:
+		return "checkpoint"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
 
 // Builtin is the signature of a registered external function.
 type Builtin func(m *Machine, args []uint64) (uint64, error)
@@ -73,7 +144,13 @@ type Machine struct {
 	seq         int
 	steps       int64
 	max         int64
+	deadline    time.Time
+	hasDeadline bool
 	checkpoints int
+
+	// pmEventLog records the kind of every PM event boundary, one byte
+	// per event; its length is the CrashAtEvent coordinate space.
+	pmEventLog []PMEventKind
 
 	// ops counts executed instructions per opcode. A dense array indexed
 	// by ir.Op keeps the dispatch-loop cost to one increment; the map view
@@ -143,8 +220,10 @@ func New(mod *ir.Module, opts Options) (*Machine, error) {
 		builtins:   make(map[string]Builtin),
 		globalAddr: make(map[string]uint64),
 		heapNext:   pmem.HeapBase,
-		max:        opts.MaxSteps,
+		max:        opts.StepLimit,
+		deadline:   opts.Deadline,
 	}
+	m.hasDeadline = !opts.Deadline.IsZero()
 	if m.cost == nil {
 		m.cost = pmem.DefaultCostModel()
 	}
@@ -282,6 +361,21 @@ func (m *Machine) CrashImage(keep func(*pmem.TrackedStore) bool) *pmem.Memory {
 		keep = func(*pmem.TrackedStore) bool { return false }
 	}
 	img := m.Track.CrashImage(keep)
+	return m.stampMeta(img)
+}
+
+// CrashImageCuts builds the post-crash PM image for one specific crash
+// schedule under the per-line prefix model: cuts[i] is how many of the
+// i-th pending line's stores (in Track.PendingLines order) reached PM
+// before the crash. Like CrashImage, the allocator's reserved metadata
+// line is carried over intact.
+func (m *Machine) CrashImageCuts(cuts []int) *pmem.Memory {
+	return m.stampMeta(m.Track.CrashImagePrefix(cuts))
+}
+
+// stampMeta copies the allocator's reserved metadata line into a crash
+// image (the simulated hardware keeps it consistent on its own).
+func (m *Machine) stampMeta(img *pmem.Memory) *pmem.Memory {
 	meta := make([]byte, pmem.LineSize)
 	m.Mem.Read(pmem.PMBase, meta)
 	img.Write(pmem.PMBase, meta)
@@ -332,13 +426,34 @@ func (m *Machine) checkpoint(in *ir.Instr) error {
 	m.Violations = append(m.Violations, m.Track.OnCheckpoint(seq)...)
 	m.checkpoints++
 	if m.opts.CrashAtCheckpoint > 0 && m.checkpoints == m.opts.CrashAtCheckpoint {
+		m.pmEventLog = append(m.pmEventLog, EvCheckpoint)
+		return ErrSimulatedCrash
+	}
+	return m.pmEvent(EvCheckpoint)
+}
+
+// Checkpoints returns the number of durability points passed so far.
+func (m *Machine) Checkpoints() int { return m.checkpoints }
+
+// pmEvent logs one PM event boundary and fires Options.CrashAtEvent.
+// Callers invoke it after applying the event's tracker effect, so a
+// simulated crash observes the post-event durability state.
+func (m *Machine) pmEvent(k PMEventKind) error {
+	m.pmEventLog = append(m.pmEventLog, k)
+	if m.opts.CrashAtEvent > 0 && len(m.pmEventLog) == m.opts.CrashAtEvent {
 		return ErrSimulatedCrash
 	}
 	return nil
 }
 
-// Checkpoints returns the number of durability points passed so far.
-func (m *Machine) Checkpoints() int { return m.checkpoints }
+// PMEvents returns the number of PM event boundaries passed so far —
+// the coordinate space Options.CrashAtEvent indexes (1-based).
+func (m *Machine) PMEvents() int { return len(m.pmEventLog) }
+
+// PMEventLog returns the kind of every PM event boundary passed so far,
+// in order. Entry i corresponds to CrashAtEvent = i+1. The slice is the
+// machine's own log; callers must not mutate it.
+func (m *Machine) PMEventLog() []PMEventKind { return m.pmEventLog }
 
 func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 	if len(m.frames) >= 10_000 {
@@ -365,7 +480,10 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 			m.steps++
 			m.ops[in.Op]++
 			if m.steps > m.max {
-				return 0, m.fault("step limit exceeded (%d)", m.max)
+				return 0, &LimitError{Resource: "steps", Steps: m.steps, Limit: m.max, Stack: m.stack(in)}
+			}
+			if m.hasDeadline && m.steps&8191 == 0 && time.Now().After(m.deadline) {
+				return 0, &LimitError{Resource: "deadline", Steps: m.steps, Stack: m.stack(in)}
 			}
 			f.cur = in
 			switch in.Op {
@@ -464,12 +582,17 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 			}
 			seq := m.seq
 			m.emit(&trace.Event{Kind: kind, Addr: addr, Size: int(size), Stack: m.stack(in)})
+			ev := EvStore
 			if in.Op == ir.OpNTStore {
 				m.Track.OnNTStore(seq, addr, data)
+				ev = EvNTStore
 			} else {
 				m.Track.OnStore(seq, addr, data)
 			}
 			m.Clock.Advance(m.cost.StorePM)
+			if err := m.pmEvent(ev); err != nil {
+				return err
+			}
 		} else {
 			m.Clock.Advance(m.cost.StoreDRAM)
 		}
@@ -515,6 +638,9 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 				// line in the write-pending queue and pay at the fence.
 				m.Clock.Advance(m.cost.FlushWriteback)
 			}
+			if err := m.pmEvent(EvFlush); err != nil {
+				return err
+			}
 		}
 		// Flushing volatile memory costs flush latency but has no
 		// durability effect — this is the waste the hoisting heuristic
@@ -525,6 +651,9 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		m.emit(&trace.Event{Kind: trace.KindFence, FenceK: in.FenceK, Stack: m.stack(in)})
 		drained := m.Track.OnFence(seq)
 		m.Clock.Advance(m.cost.FenceBase + float64(drained)*m.cost.FenceDrainPerLine)
+		if err := m.pmEvent(EvFence); err != nil {
+			return err
+		}
 
 	default:
 		switch {

@@ -66,6 +66,7 @@ var stdSigs = []struct {
 	{"memset", ptrTo(tyByte), []*Type{ptrTo(tyByte), tyInt, tyInt}},
 	{"flush_range", tyVoid, []*Type{ptrTo(tyByte), tyInt}},
 	{"pm_checkpoint", tyVoid, nil},
+	{"pm_assert", tyVoid, []*Type{tyInt, ptrTo(tyByte)}},
 	{"print_int", tyVoid, []*Type{tyInt}},
 	{"print_str", tyVoid, []*Type{ptrTo(tyByte)}},
 	{"abort_msg", tyVoid, []*Type{ptrTo(tyByte)}},

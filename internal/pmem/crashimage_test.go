@@ -1,0 +1,145 @@
+package pmem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPendingLinesGrouping: interleaved stores to several lines come back
+// grouped per line, sequence-ordered within a group, groups ordered by
+// line address — the stable coordinate system crash-schedule enumeration
+// indexes into.
+func TestPendingLinesGrouping(t *testing.T) {
+	tr := NewTracker()
+	lineA := uint64(PMBase)
+	lineB := uint64(PMBase + 128)
+	tr.OnStore(1, lineB+8, val(1))
+	tr.OnStore(2, lineA, val(2))
+	tr.OnStore(3, lineB+16, val(3))
+	tr.OnStore(4, lineA+8, val(4))
+
+	pls := tr.PendingLines()
+	if len(pls) != 2 {
+		t.Fatalf("pending lines = %d, want 2", len(pls))
+	}
+	if pls[0].Line != lineA || pls[1].Line != lineB {
+		t.Fatalf("line order = %#x, %#x; want ascending addresses", pls[0].Line, pls[1].Line)
+	}
+	if len(pls[0].Stores) != 2 || len(pls[1].Stores) != 2 {
+		t.Fatalf("store counts = %d, %d; want 2, 2", len(pls[0].Stores), len(pls[1].Stores))
+	}
+	if pls[0].Stores[0].Seq != 2 || pls[0].Stores[1].Seq != 4 {
+		t.Errorf("line A sequence = %d, %d; want 2, 4", pls[0].Stores[0].Seq, pls[0].Stores[1].Seq)
+	}
+	if pls[1].Stores[0].Seq != 1 || pls[1].Stores[1].Seq != 3 {
+		t.Errorf("line B sequence = %d, %d; want 1, 3", pls[1].Stores[0].Seq, pls[1].Stores[1].Seq)
+	}
+	// Deterministic: a second call yields the identical grouping.
+	again := tr.PendingLines()
+	if !reflect.DeepEqual(pls, again) {
+		t.Error("PendingLines is not deterministic")
+	}
+}
+
+// TestPendingLinesAfterPersist: flushed-and-fenced stores leave the
+// pending set; flushed-but-unfenced stores stay (they may or may not have
+// reached PM, which is exactly what the schedule model explores).
+func TestPendingLinesAfterPersist(t *testing.T) {
+	tr := NewTracker()
+	tr.OnStore(1, PMBase, val(9))
+	tr.OnStore(2, PMBase+64, val(8))
+	tr.OnFlush(3, false, PMBase)
+	if got := len(tr.PendingLines()); got != 2 {
+		t.Fatalf("after flush: %d pending lines, want 2 (flush alone is not durability)", got)
+	}
+	tr.OnFence(4)
+	pls := tr.PendingLines()
+	if len(pls) != 1 || pls[0].Line != PMBase+64 {
+		t.Fatalf("after fence: pending = %+v, want only the unflushed line", pls)
+	}
+}
+
+// TestCrashImagePrefix: the cuts vector selects a per-line prefix; cut
+// values are clamped and missing entries mean nothing survived.
+func TestCrashImagePrefix(t *testing.T) {
+	tr := NewTracker()
+	addr := uint64(PMBase + 256)
+	tr.OnStore(1, addr, val(1))
+	tr.OnStore(2, addr+8, val(2))
+	tr.OnStore(3, addr+16, val(3))
+
+	if got := tr.CrashImagePrefix([]int{0}).Load8(addr); got != 0 {
+		t.Errorf("cut 0: byte = %d, want durable zero", got)
+	}
+	img := tr.CrashImagePrefix([]int{2})
+	if img.Load8(addr) != 1 || img.Load8(addr+8) != 2 || img.Load8(addr+16) != 0 {
+		t.Errorf("cut 2: bytes = %d,%d,%d; want prefix 1,2,0",
+			img.Load8(addr), img.Load8(addr+8), img.Load8(addr+16))
+	}
+	// Clamping: negative and oversized cuts, and a missing entry.
+	if got := tr.CrashImagePrefix([]int{-5}).Load8(addr); got != 0 {
+		t.Errorf("negative cut: byte = %d, want 0", got)
+	}
+	img = tr.CrashImagePrefix([]int{99})
+	if img.Load8(addr+16) != 3 {
+		t.Errorf("oversized cut: byte = %d, want full prefix", img.Load8(addr+16))
+	}
+	if got := tr.CrashImagePrefix(nil).Load8(addr); got != 0 {
+		t.Errorf("nil cuts: byte = %d, want durable image", got)
+	}
+}
+
+// TestCrashImagePrefixCollapsesOverwrites: an exact overwrite replaces
+// the pending store in place, so prefixes range over the line's current
+// sequence, never resurrecting the overwritten value.
+func TestCrashImagePrefixCollapsesOverwrites(t *testing.T) {
+	tr := NewTracker()
+	addr := uint64(PMBase + 512)
+	tr.OnStore(1, addr, val(0xAA))
+	tr.OnStore(2, addr, val(0xBB))
+	pls := tr.PendingLines()
+	if len(pls) != 1 || len(pls[0].Stores) != 1 {
+		t.Fatalf("pending = %+v, want one collapsed store", pls)
+	}
+	if got := tr.CrashImagePrefix([]int{1}).Load8(addr); got != 0xBB {
+		t.Errorf("prefix 1: byte = %#x, want the overwriting value", got)
+	}
+}
+
+// TestCrashImagePrefixAgreesWithCrashImage: the prefix model's corner
+// schedules coincide with the legacy keep-function image builder — the
+// all-zero cut is the keep-nothing image (durable only) and the all-max
+// cut is the keep-everything image.
+func TestCrashImagePrefixAgreesWithCrashImage(t *testing.T) {
+	tr := NewTracker()
+	tr.OnStore(1, PMBase, val(1, 2, 3))
+	tr.OnStore(2, PMBase+64, val(4))
+	tr.OnStore(3, PMBase+70, val(5, 6))
+	tr.OnStore(4, PMBase+128, val(7))
+	tr.OnFlush(5, false, PMBase+128)
+	tr.OnFence(6)
+
+	pls := tr.PendingLines()
+	zero := make([]int, len(pls))
+	full := make([]int, len(pls))
+	for i, pl := range pls {
+		full[i] = len(pl.Stores)
+	}
+	probe := []uint64{PMBase, PMBase + 64, PMBase + 70, PMBase + 128}
+
+	worst := tr.CrashImage(func(*TrackedStore) bool { return false })
+	gotWorst := tr.CrashImagePrefix(zero)
+	best := tr.CrashImage(func(*TrackedStore) bool { return true })
+	gotBest := tr.CrashImagePrefix(full)
+	for _, a := range probe {
+		if worst.Load8(a) != gotWorst.Load8(a) {
+			t.Errorf("all-zero cut differs from CrashImage(nil) at %#x", a)
+		}
+		if best.Load8(a) != gotBest.Load8(a) {
+			t.Errorf("all-max cut differs from keep-all CrashImage at %#x", a)
+		}
+	}
+	if gotBest.Load8(PMBase) != 1 || gotBest.Load8(PMBase+128) != 7 {
+		t.Error("all-max image lost stored bytes")
+	}
+}

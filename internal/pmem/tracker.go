@@ -305,3 +305,59 @@ func (t *Tracker) CrashImage(keep func(*TrackedStore) bool) *Memory {
 	}
 	return img
 }
+
+// PendingLine groups the non-durable stores of one cache line, in
+// sequence order. It is the unit of the crash-schedule model: a cache
+// line writes back to PM atomically and cumulatively, so the feasible
+// post-crash contents of one line are exactly the prefixes of its
+// pending-store sequence (the line's content at the moment of its last
+// eviction), not arbitrary subsets.
+type PendingLine struct {
+	// Line is the cache-line base address.
+	Line uint64
+	// Stores are the line's non-durable stores, sequence-ordered.
+	Stores []*TrackedStore
+}
+
+// PendingLines returns the pending stores grouped by cache line, each
+// group sequence-ordered, groups ordered by line address. The result is
+// deterministic for a given tracker state, so an index into it is a
+// stable coordinate for crash-schedule enumeration.
+func (t *Tracker) PendingLines() []PendingLine {
+	out := make([]PendingLine, 0, len(t.pending))
+	for line, list := range t.pending {
+		stores := append([]*TrackedStore(nil), list...)
+		sort.Slice(stores, func(i, j int) bool { return stores[i].Seq < stores[j].Seq })
+		out = append(out, PendingLine{Line: line, Stores: stores})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// CrashImagePrefix builds the post-crash PM image for one crash schedule
+// under the per-line prefix model: for the i-th pending line (in
+// PendingLines order), the first cuts[i] stores reached PM before the
+// crash and the rest were lost. Cut values outside [0, len(Stores)] are
+// clamped; missing entries mean 0 (nothing from that line survived).
+// Exact overwrites collapse pending stores (see OnStore), so a prefix
+// reflects the line's current pending sequence, not every historical
+// intermediate value — the same approximation CrashImage makes.
+func (t *Tracker) CrashImagePrefix(cuts []int) *Memory {
+	img := t.durable.Clone()
+	for i, pl := range t.PendingLines() {
+		cut := 0
+		if i < len(cuts) {
+			cut = cuts[i]
+		}
+		if cut < 0 {
+			cut = 0
+		}
+		if cut > len(pl.Stores) {
+			cut = len(pl.Stores)
+		}
+		for _, st := range pl.Stores[:cut] {
+			img.Write(st.Addr, st.Data)
+		}
+	}
+	return img
+}
