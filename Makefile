@@ -51,3 +51,4 @@ verify: vet build
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	BENCH_CRASHSIM_OUT=$(CURDIR)/BENCH_crashsim.json $(GO) test -run '^TestWriteCrashSweepJSON$$' -count=1 -v ./internal/bench/

@@ -112,6 +112,40 @@ func BenchmarkSizeImpact(b *testing.B) {
 	b.ReportMetric(float64(added), "IR-lines-added")
 }
 
+// BenchmarkCrashSweep measures crash-schedule validation over the whole
+// crashsim-able corpus (buggy and repaired build of every target), the
+// quantity the COW/dedup fast path optimizes. The dedup sub-benchmark is
+// the shipped configuration; no-dedup is the ablation arm that boots
+// every image from scratch. Repair happens once, outside the timed loop.
+func BenchmarkCrashSweep(b *testing.B) {
+	targets, err := bench.PrepareCrashSweep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name    string
+		noDedup bool
+	}{{"dedup", false}, {"no-dedup", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last *bench.CrashSweepOutcome
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := bench.RunCrashSweep(targets, cfg.noDedup)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = out
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.Schedules), "schedules")
+				b.ReportMetric(float64(last.Failures), "failures")
+				b.ReportMetric(float64(last.DedupedSchedules), "deduped")
+				b.ReportMetric(float64(last.ImagesBuilt), "images")
+			}
+		})
+	}
+}
+
 // ---- ablations ----
 
 // BenchmarkAblationHoisting compares the full fixer against the

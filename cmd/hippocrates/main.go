@@ -26,6 +26,9 @@
 //	                  (default invariant_check; "-" disables)
 //	-recovery NAME    durability-promise recovery entry for -crashcheck
 //	                  (default crash_check; "-" disables)
+//	-no-dedup         disable content-addressed verdict dedup for
+//	                  -crashcheck: boot recovery on every schedule even
+//	                  when its image is byte-identical to one already judged
 //	-steplimit N      instruction budget per interpreter run (default 100M)
 //	-metrics FILE     write counters/histograms/phase timings as JSON
 //	-spans FILE       write the span tree as Chrome trace_event JSON
@@ -64,6 +67,7 @@ func main() {
 	crashCheck := flag.Bool("crashcheck", false, "crash-schedule validation of the repaired module")
 	invariant := flag.String("invariant", "", "structural recovery entry for -crashcheck (default invariant_check)")
 	recovery := flag.String("recovery", "", "durability-promise recovery entry for -crashcheck (default crash_check)")
+	noDedup := flag.Bool("no-dedup", false, "disable verdict dedup for -crashcheck (debug escape hatch)")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -83,6 +87,9 @@ func main() {
 		if *recovery != "" {
 			usage("-recovery only applies with -crashcheck")
 		}
+		if *noDedup {
+			usage("-no-dedup only applies with -crashcheck")
+		}
 	} else if *tracePath != "" {
 		usage("-crashcheck re-executes the program; it cannot be combined with -trace")
 	}
@@ -92,14 +99,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *invariant, *recovery,
-		*intraOnly, *showFixes, *showScores, *showDiff, *crashCheck, limits, obsFlags); err != nil {
+		*intraOnly, *showFixes, *showScores, *showDiff, *crashCheck, *noDedup, limits, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hippocrates:", err)
 		os.Exit(1)
 	}
 }
 
 func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery string,
-	intraOnly, showFixes, showScores, showDiff, crashCheck bool,
+	intraOnly, showFixes, showScores, showDiff, crashCheck, noDedup bool,
 	limits cli.LimitFlags, obsFlags cli.ObsFlags) error {
 	// The recorder is always on: the default end-of-run summary needs the
 	// phase timings, and a CLI run only creates phase-level spans.
@@ -122,7 +129,7 @@ func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery stri
 	opts := core.Options{DisableHoisting: intraOnly, Obs: root, StepLimit: limits.StepLimit}
 	if crashCheck {
 		opts.CrashCheck = &crashsim.Options{
-			Invariant: invariant, Recovery: recovery, Log: os.Stdout,
+			Invariant: invariant, Recovery: recovery, NoDedup: noDedup, Log: os.Stdout,
 		}
 	}
 	switch flushKind {
@@ -197,6 +204,14 @@ func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery stri
 	if showDiff && res.Fix != nil {
 		fmt.Println("hippocrates: repair diff:")
 		fmt.Print(cli.DiffLines(before, ir.Print(mod)))
+	}
+	for i, round := range res.CrashRounds {
+		status := "PASS"
+		if !round.Passed() {
+			status = fmt.Sprintf("%d point(s) still failing", len(round.Failures))
+		}
+		fmt.Printf("hippocrates: crashcheck after fix %d/%d: %s (%d schedule(s), %d deduped)\n",
+			i+1, len(res.CrashRounds)+1, status, round.Schedules, round.DedupedSchedules)
 	}
 	if res.Crash != nil {
 		fmt.Print(res.Crash.Summary())

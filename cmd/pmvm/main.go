@@ -21,6 +21,9 @@
 //	                 (default crash_check; "-" disables)
 //	-crash-points N  crash-point budget for -crash (default 256)
 //	-crash-images N  per-point schedule budget for -crash (default 16)
+//	-no-dedup        disable content-addressed verdict dedup for -crash:
+//	                 boot recovery on every schedule even when its image
+//	                 is byte-identical to one already judged
 //	-metrics FILE    write counters/histograms/phase timings as JSON
 //	-spans FILE      write the span tree as Chrome trace_event JSON
 //	-audit           print the repair audit trail (always empty here: pmvm
@@ -49,6 +52,7 @@ func main() {
 	recovery := flag.String("recovery", "", "durability-promise recovery entry for -crash (default crash_check)")
 	crashPoints := flag.Int("crash-points", 0, "crash-point budget for -crash (0 = default)")
 	crashImages := flag.Int("crash-images", 0, "per-point schedule budget for -crash (0 = default)")
+	noDedup := flag.Bool("no-dedup", false, "disable verdict dedup for -crash (debug escape hatch)")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -73,6 +77,8 @@ func main() {
 			usage("-crash-points only applies with -crash")
 		case *crashImages != 0:
 			usage("-crash-images only applies with -crash")
+		case *noDedup:
+			usage("-no-dedup only applies with -crash")
 		}
 	} else {
 		if *crashPoints < 0 {
@@ -88,14 +94,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *crash,
-		*invariant, *recovery, *crashPoints, *crashImages, limits, obsFlags); err != nil {
+		*invariant, *recovery, *crashPoints, *crashImages, *noDedup, limits, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "pmvm:", err)
 		os.Exit(1)
 	}
 }
 
 func run(path string, argStrs []string, entry, traceOut string, printIR, crash bool,
-	invariant, recovery string, crashPoints, crashImages int,
+	invariant, recovery string, crashPoints, crashImages int, noDedup bool,
 	limits cli.LimitFlags, obsFlags cli.ObsFlags) error {
 	rec := obsFlags.NewRecorder()
 	root := rec.StartSpan("pmvm")
@@ -123,6 +129,7 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 			Entry: entry, Args: args,
 			Invariant: invariant, Recovery: recovery,
 			MaxPoints: crashPoints, MaxImages: crashImages,
+			NoDedup:   noDedup,
 			StepLimit: limits.StepLimit,
 			Obs:       root, Log: os.Stdout,
 		})
@@ -155,7 +162,9 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 	if tr != nil {
 		xsp.Add("trace.events", int64(len(tr.Events)))
 		for k, n := range tr.KindCounts() {
-			xsp.Add("trace.event."+k, int64(n))
+			if n > 0 {
+				xsp.Add("trace.event."+trace.Kind(k).String(), int64(n))
+			}
 		}
 	}
 	xsp.End()

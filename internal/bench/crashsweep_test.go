@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCrashSweepDedupVerdictsIdentical is the corpus-scale ablation: the
+// content-addressed fast path must report exactly the schedules and
+// failures the dedup-off sweep reports, while actually booting fewer
+// images.
+func TestCrashSweepDedupVerdictsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus sweep")
+	}
+	targets, err := PrepareCrashSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no crash-sweep targets in corpus")
+	}
+	on, err := RunCrashSweep(targets, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunCrashSweep(targets, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Schedules != off.Schedules {
+		t.Errorf("schedule counts differ: dedup on %d, off %d", on.Schedules, off.Schedules)
+	}
+	if !equalStrings(on.FailureKeys, off.FailureKeys) {
+		t.Errorf("verdicts differ across dedup modes:\non:  %v\noff: %v", on.FailureKeys, off.FailureKeys)
+	}
+	if on.DedupedSchedules == 0 && on.CacheHits == 0 {
+		t.Error("dedup sweep reused no verdicts; fast path inert")
+	}
+	if on.ImagesBuilt >= off.ImagesBuilt {
+		t.Errorf("dedup built %d images, no-dedup %d; expected fewer", on.ImagesBuilt, off.ImagesBuilt)
+	}
+	if off.DedupedSchedules != 0 || off.CacheHits != 0 || off.CacheMisses != 0 {
+		t.Errorf("no-dedup sweep touched the verdict cache: %d deduped, %d/%d hits/misses",
+			off.DedupedSchedules, off.CacheHits, off.CacheMisses)
+	}
+}
+
+// TestWriteCrashSweepJSON regenerates BENCH_crashsim.json when the
+// BENCH_CRASHSIM_OUT environment variable names the output path; `make
+// bench` drives it. Skipped otherwise — it runs a timed benchmark.
+func TestWriteCrashSweepJSON(t *testing.T) {
+	path := os.Getenv("BENCH_CRASHSIM_OUT")
+	if path == "" {
+		t.Skip("set BENCH_CRASHSIM_OUT to write the crash-sweep report")
+	}
+	rep, err := WriteCrashSweepJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("crash sweep: %d targets, %d schedules, %d failures, %.1fx ns speedup, %.1fx bytes reduction",
+		rep.Config.Targets, rep.Current.Schedules, rep.Current.Failures, rep.SpeedupNs, rep.BytesReduction)
+	if !rep.VerdictsIdentical {
+		t.Error("dedup sweep verdicts differ from the no-dedup ablation")
+	}
+	if rep.SpeedupNs < 5 {
+		t.Errorf("wall-clock speedup %.2fx, want >= 5x vs pre-COW baseline", rep.SpeedupNs)
+	}
+	if rep.BytesReduction < 10 {
+		t.Errorf("allocated-bytes reduction %.2fx, want >= 10x vs pre-COW baseline", rep.BytesReduction)
+	}
+}

@@ -8,8 +8,8 @@ import (
 
 	"hippocrates/internal/core"
 	"hippocrates/internal/corpus"
-	"hippocrates/internal/obs"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/trace"
 )

@@ -313,7 +313,29 @@ func (fx *Fixer) Result() *Result { return fx.result }
 // that drives one buggy store through many dynamic violations (or several
 // call chains needing the same mechanisms) reaches the planner once, with
 // the stack union preserved for the hoisting heuristic.
+//
+// Apply is the all-at-once composition of computePlans / applyPlan /
+// finish; the incremental crash-revalidation path in the pipeline drives
+// the three pieces itself so it can re-validate between fixes.
 func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
+	plans, err := fx.computePlans(reports)
+	if err != nil {
+		return err
+	}
+	asp := fx.sp.Start("apply")
+	defer asp.End()
+	for _, p := range plans {
+		if err := fx.applyPlan(p); err != nil {
+			return err
+		}
+	}
+	return fx.finish(asp)
+}
+
+// computePlans runs the planning phases (dedupe, per-report planning,
+// deterministic ordering, fix reduction) under a "plan" span and returns
+// the plans in application order.
+func (fx *Fixer) computePlans(reports []*pmcheck.Report) ([]*plan, error) {
 	psp := fx.sp.Start("plan")
 	psp.Add("fix.reports.pre_dedupe", int64(len(reports)))
 	reports = pmcheck.DedupeByClass(reports)
@@ -323,7 +345,7 @@ func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
 		p, err := fx.plan(rep)
 		if err != nil {
 			psp.End()
-			return err
+			return nil, err
 		}
 		plans = append(plans, p)
 	}
@@ -346,14 +368,17 @@ func (fx *Fixer) Apply(reports []*pmcheck.Report) error {
 		}
 	}
 	psp.End()
+	return plans, nil
+}
 
-	asp := fx.sp.Start("apply")
-	defer asp.End()
-	for _, p := range plans {
-		if err := fx.apply(p); err != nil {
-			return err
-		}
-	}
+// applyPlan applies one computed plan to the module. Plans hold
+// *ir.Instr pointers (not IDs), so interleaving applications with
+// renumbering — as incremental revalidation does — is safe.
+func (fx *Fixer) applyPlan(p *plan) error { return fx.apply(p) }
+
+// finish renumbers the mutated functions, verifies the repaired module,
+// and publishes the fix counters under the apply span.
+func (fx *Fixer) finish(asp *obs.Span) error {
 	for _, f := range fx.mod.Funcs {
 		f.Renumber()
 	}

@@ -24,6 +24,14 @@ type PipelineResult struct {
 	// Crash is the crash-schedule validation report, when
 	// Options.CrashCheck requested the stage (nil otherwise).
 	Crash *crashsim.Report
+	// CrashRounds holds the intermediate crash-validation reports of the
+	// incremental path: with CrashCheck set and more than one fix to
+	// apply, round i re-validates the module right after fix i+1 landed,
+	// reusing the shared verdict cache (so each round mostly re-judges
+	// only the images the new fix changed). Intermediate rounds commonly
+	// fail — later fixes have not been applied yet — which is why Fixed
+	// consults only the final report in Crash.
+	CrashRounds []*crashsim.Report
 }
 
 // Fixed reports whether the module is clean after repair: no detector
@@ -67,7 +75,9 @@ func TraceModuleOpts(sp *obs.Span, mod *ir.Module, entry string, opts Options, a
 	mach.RecordObs(tsp)
 	tsp.Add("trace.events", int64(len(tr.Events)))
 	for k, n := range tr.KindCounts() {
-		tsp.Add("trace.event."+k, int64(n))
+		if n > 0 {
+			tsp.Add("trace.event."+trace.Kind(k).String(), int64(n))
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("tracing @%s: %w", entry, err)
@@ -90,6 +100,7 @@ func TraceModuleOpts(sp *obs.Span, mod *ir.Module, entry string, opts Options, a
 func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (out *PipelineResult, err error) {
 	defer guard("pipeline", &err)
 	sp := opts.Obs
+	copts := crashOpts(opts, entry, args)
 	tr, err := TraceModuleOpts(sp, mod, entry, opts, args...)
 	if err != nil {
 		return nil, err
@@ -98,13 +109,16 @@ func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (o
 	out = &PipelineResult{Trace: tr, Before: res}
 	if res.Clean() {
 		out.After = res
-		return crashValidate(mod, entry, opts, out, args...)
+		return crashValidate(mod, copts, out)
 	}
-	fixRes, err := Repair(mod, tr, res, opts)
+	if copts != nil {
+		err = repairIncremental(mod, tr, res, opts, copts, out)
+	} else {
+		out.Fix, err = Repair(mod, tr, res, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	out.Fix = fixRes
 	rsp := sp.Start("revalidate")
 	tr2, err := TraceModuleOpts(rsp, mod, entry, opts, args...)
 	if err != nil {
@@ -114,14 +128,16 @@ func RunAndRepair(mod *ir.Module, entry string, opts Options, args ...uint64) (o
 	out.After = pmcheck.CheckObs(rsp, tr2)
 	rsp.Add("revalidate.remaining_reports", int64(len(out.After.Reports)))
 	rsp.End()
-	return crashValidate(mod, entry, opts, out, args...)
+	return crashValidate(mod, copts, out)
 }
 
-// crashValidate runs the optional crash-schedule validation stage on the
-// (possibly just repaired) module and attaches the report.
-func crashValidate(mod *ir.Module, entry string, opts Options, out *PipelineResult, args ...uint64) (*PipelineResult, error) {
+// crashOpts resolves Options.CrashCheck against the pipeline's own
+// entry, args, limits, and obs span (nil when the stage is off), and
+// gives the run a verdict cache so the incremental rounds and the final
+// validation share memoized recovery outcomes.
+func crashOpts(opts Options, entry string, args []uint64) *crashsim.Options {
 	if opts.CrashCheck == nil {
-		return out, nil
+		return nil
 	}
 	copts := *opts.CrashCheck
 	if copts.Entry == "" {
@@ -139,7 +155,135 @@ func crashValidate(mod *ir.Module, entry string, opts Options, out *PipelineResu
 	if copts.Deadline.IsZero() {
 		copts.Deadline = opts.Deadline
 	}
-	rep, err := crashsim.Validate(mod, copts)
+	if copts.Cache == nil && !copts.NoDedup {
+		copts.Cache = crashsim.NewVerdictCache()
+	}
+	return &copts
+}
+
+// repairIncremental is Repair interleaved with crash validation: after
+// each applied fix but the last, the partially repaired module is
+// crash-validated with the shared verdict cache, so the caller gets a
+// per-fix account of how the schedule failures shrink. (The last fix's
+// validation is the pipeline's final crashValidate stage.) The cache is
+// reset whenever a fix mutates code reachable from a recovery entry —
+// memoized verdicts describe recovery code that no longer exists then —
+// and survives otherwise: image hashes are content-addressed, so the
+// workload-side changes each fix makes simply hash to new keys.
+func repairIncremental(mod *ir.Module, tr *trace.Trace, res *pmcheck.Result, opts Options,
+	copts *crashsim.Options, out *PipelineResult) (err error) {
+	defer guard("repair", &err)
+	fx := NewFixer(mod, tr, opts)
+	plans, err := fx.computePlans(res.Reports)
+	if err != nil {
+		return err
+	}
+	asp := fx.sp.Start("apply")
+	defer asp.End()
+	reach := recoveryReachable(mod, copts)
+	for i, p := range plans {
+		if err := fx.applyPlan(p); err != nil {
+			return err
+		}
+		if copts.Cache != nil && planTouchesRecovery(p, reach) {
+			copts.Cache.Reset()
+			// The fix may have made new code (clones) recovery-reachable.
+			reach = recoveryReachable(mod, copts)
+		}
+		if i == len(plans)-1 {
+			break
+		}
+		round := *copts
+		round.Log = nil // a partially repaired module legitimately fails
+		rep, rerr := crashsim.Validate(mod, round)
+		if rerr != nil {
+			return fmt.Errorf("crash validation after fix %d: %w", i+1, rerr)
+		}
+		out.CrashRounds = append(out.CrashRounds, rep)
+	}
+	if err := fx.finish(asp); err != nil {
+		return err
+	}
+	out.Fix = fx.Result()
+	return nil
+}
+
+// recoveryReachable returns the names of the functions reachable (via
+// static calls) from the configured recovery entries — the code whose
+// mutation invalidates cached verdicts.
+func recoveryReachable(mod *ir.Module, copts *crashsim.Options) map[string]bool {
+	inv, rec := copts.Invariant, copts.Recovery
+	if inv == "" {
+		inv = "invariant_check" // Validate's own defaults
+	}
+	if rec == "" {
+		rec = "crash_check"
+	}
+	entries := make([]string, 0, 2)
+	for _, name := range []string{inv, rec} {
+		if name != "-" {
+			entries = append(entries, name)
+		}
+	}
+	reach := make(map[string]bool)
+	var walk func(name string)
+	walk = func(name string) {
+		if reach[name] {
+			return
+		}
+		fn := mod.Func(name)
+		if fn == nil || fn.IsDecl() {
+			return
+		}
+		reach[name] = true
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee != nil {
+					walk(in.Callee.Name)
+				}
+			}
+		}
+	}
+	for _, e := range entries {
+		walk(e)
+	}
+	return reach
+}
+
+// planTouchesRecovery reports whether applying p mutated any function in
+// reach (the recovery-reachable set computed before the application).
+func planTouchesRecovery(p *plan, reach map[string]bool) bool {
+	touched := func(in *ir.Instr) bool {
+		if in == nil {
+			return false
+		}
+		blk := in.Block()
+		return blk != nil && reach[blk.Func().Name]
+	}
+	if touched(p.storeIn) {
+		return true
+	}
+	for _, fin := range p.fenceAfter {
+		if touched(fin) {
+			return true
+		}
+	}
+	if p.hoist != nil && touched(p.hoist.callIn) {
+		return true
+	}
+	if p.groupLeader != nil && touched(p.groupLeader.storeIn) {
+		return true
+	}
+	return false
+}
+
+// crashValidate runs the optional crash-schedule validation stage on the
+// (possibly just repaired) module and attaches the report.
+func crashValidate(mod *ir.Module, copts *crashsim.Options, out *PipelineResult) (*PipelineResult, error) {
+	if copts == nil {
+		return out, nil
+	}
+	rep, err := crashsim.Validate(mod, *copts)
 	if err != nil {
 		return nil, fmt.Errorf("crash validation: %w", err)
 	}

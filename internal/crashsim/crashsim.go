@@ -7,9 +7,9 @@
 // boundary (exhaustively on small traces, by deterministic stratified
 // sampling above a budget), expands each crash point into the set of
 // feasible post-crash PM images, and boots a fresh interpreter on every
-// image to run the program's declared recovery entrypoints. A recovery
-// entry fails a schedule by returning non-zero, tripping pm_assert, or
-// faulting.
+// distinct image to run the program's declared recovery entrypoints. A
+// recovery entry fails a schedule by returning non-zero, tripping
+// pm_assert, or faulting.
 //
 // # Schedule model
 //
@@ -20,6 +20,20 @@
 // per line. A crash point with pending lines of sizes n_1..n_L therefore
 // has Π(n_i+1) feasible images — not 2^stores: arbitrary subsets within
 // a line are not reachable by any eviction order.
+//
+// # Fast path
+//
+// Two workload executions cover every crash point: a probe run learns
+// the event stream, then a capture run snapshots the durability state at
+// each selected boundary (copy-on-write, so unchanged durable pages are
+// shared across all points). Per point, a pmem.ImageBuilder walks the
+// schedule list by applying per-line deltas between consecutive cut
+// vectors instead of rebuilding each image from the durable base, and a
+// content-addressed VerdictCache maps image hashes to recovery
+// outcomes, so schedules that collapse to byte-identical images boot
+// recovery exactly once. Dedup never changes a verdict — the interpreter
+// is deterministic over image bytes — and Options.NoDedup turns it off
+// for debugging suspected divergence.
 //
 // # Recovery-entry contract
 //
@@ -39,7 +53,6 @@
 package crashsim
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -52,6 +65,7 @@ import (
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
+	"hippocrates/internal/pmem"
 )
 
 // DefaultMaxPoints bounds how many crash points are simulated when
@@ -91,9 +105,21 @@ type Options struct {
 	// Seed drives the deterministic schedule sampling (0 means 1).
 	Seed int64
 	// StepLimit / Deadline bound every interpreter run the engine makes
-	// (the probe, each crashed workload, each recovery run).
+	// (the probe, the capture run, each recovery run).
 	StepLimit int64
 	Deadline  time.Time
+	// NoDedup disables the content-addressed verdict dedup: every
+	// schedule materializes its image and boots recovery even when a
+	// byte-identical image was already judged. Point selection, schedule
+	// enumeration, and verdicts are unchanged — dedup only skips
+	// provably redundant boots — so this is purely an escape hatch for
+	// debugging suspected image divergence.
+	NoDedup bool
+	// Cache, when non-nil, carries memoized recovery verdicts across
+	// Validate calls (the incremental-revalidation hook core.RunAndRepair
+	// uses between candidate fixes). Nil gives the run a private cache.
+	// Ignored with NoDedup.
+	Cache *VerdictCache
 	// Obs receives "crashsim" child spans and schedule counters.
 	Obs *obs.Span
 	// Log, when non-nil, receives pruning notices and per-failure lines.
@@ -138,10 +164,29 @@ type Report struct {
 	TotalEvents  int
 	Points       int
 	PrunedPoints int
-	// Schedules counts executed post-crash images; PrunedSchedules
+	// PointEvents lists the simulated crash points (ascending 1-based PM
+	// event indices) — the deterministic output of the stratified point
+	// selection, identical whatever the dedup mode.
+	PointEvents []int
+	// Schedules counts evaluated post-crash schedules; PrunedSchedules
 	// counts feasible images that the per-point budget skipped.
 	Schedules       int
 	PrunedSchedules int64
+	// ImagesBuilt counts images actually materialized and booted into a
+	// recovery machine; DedupedSchedules counts schedules whose every
+	// applicable entry was served from the verdict cache, so no image
+	// was built for them at all.
+	ImagesBuilt      int
+	DedupedSchedules int
+	// CacheHits / CacheMisses break down this run's verdict-cache
+	// lookups (one per applicable entry per schedule; zero with NoDedup).
+	CacheHits   int64
+	CacheMisses int64
+	// PagesShared / PagesCopied are the copy-on-write page stats of the
+	// run's capture and image construction: references handed out
+	// instead of page copies, and pages actually privatized by writes.
+	PagesShared int64
+	PagesCopied int64
 	// Failures holds the first failing schedule of every failed crash
 	// point, ordered by event index.
 	Failures []Failure
@@ -149,19 +194,35 @@ type Report struct {
 	// when absent).
 	InvariantEntry string
 	RecoveryEntry  string
+	// DedupEnabled records whether the content-addressed fast path was
+	// on (it is unless Options.NoDedup).
+	DedupEnabled bool
 }
 
-// Passed reports whether every executed schedule recovered cleanly.
+// Passed reports whether every evaluated schedule recovered cleanly.
 func (r *Report) Passed() bool { return len(r.Failures) == 0 }
+
+// DedupSummary renders the one-line dedup/COW accounting that Summary
+// (and the CLIs, by default) print.
+func (r *Report) DedupSummary() string {
+	if !r.DedupEnabled {
+		return fmt.Sprintf("crashsim: dedup disabled: %d image(s) built (cow: %d page(s) shared, %d copied)",
+			r.ImagesBuilt, r.PagesShared, r.PagesCopied)
+	}
+	return fmt.Sprintf("crashsim: dedup: %d of %d schedule(s) reused a cached verdict, %d image(s) built (cache %d hit(s)/%d miss(es); cow: %d page(s) shared, %d copied)",
+		r.DedupedSchedules, r.Schedules, r.ImagesBuilt, r.CacheHits, r.CacheMisses, r.PagesShared, r.PagesCopied)
+}
 
 // Summary renders the report for CLI output.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "crashsim: %d crash point(s) of %d PM events, %d schedule(s) executed",
+	fmt.Fprintf(&b, "crashsim: %d crash point(s) of %d PM events, %d schedule(s) evaluated",
 		r.Points, r.TotalEvents, r.Schedules)
 	if r.PrunedPoints > 0 || r.PrunedSchedules > 0 {
 		fmt.Fprintf(&b, " (pruned: %d point(s), %d schedule(s))", r.PrunedPoints, r.PrunedSchedules)
 	}
+	b.WriteString("\n")
+	b.WriteString(r.DedupSummary())
 	b.WriteString("\n")
 	if r.Passed() {
 		b.WriteString("crashsim: all schedules recovered cleanly\n")
@@ -231,6 +292,13 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 			opts.Invariant, opts.Recovery)
 	}
 
+	cache := opts.Cache
+	if opts.NoDedup {
+		cache = nil
+	} else if cache == nil {
+		cache = NewVerdictCache()
+	}
+
 	sp := opts.Obs.Start("crashsim")
 	defer sp.End()
 	sp.SetAttr("entry", opts.Entry)
@@ -247,7 +315,10 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	log := append([]interp.PMEventKind(nil), probe.PMEventLog()...)
 
 	points := selectPoints(log, opts.MaxPoints, inv != nil, rec)
-	rep = &Report{TotalEvents: len(log), Points: len(points), PrunedPoints: len(log) - len(points)}
+	rep = &Report{
+		TotalEvents: len(log), Points: len(points), PrunedPoints: len(log) - len(points),
+		PointEvents: points, DedupEnabled: !opts.NoDedup,
+	}
 	if inv != nil {
 		rep.InvariantEntry = inv.name
 	}
@@ -257,6 +328,44 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	if rep.PrunedPoints > 0 && opts.Log != nil {
 		fmt.Fprintf(opts.Log, "crashsim: simulating %d of %d PM events (%d pruned or ineligible; every eligible checkpoint kept)\n",
 			len(points), len(log), rep.PrunedPoints)
+	}
+
+	// Capture run: one more workload execution snapshots the frozen
+	// durability state at every selected boundary, replacing the
+	// re-execution per crash point the first engine did. The interpreter
+	// is deterministic, so a capture at event k is the exact state a
+	// CrashAtEvent=k run would crash with.
+	captures := make([]*pmem.CrashState, len(points))
+	want := make(map[int]int, len(points))
+	for i, p := range points {
+		want[p] = i
+	}
+	var cm *interp.Machine
+	cm, err = interp.New(mod, interp.Options{
+		StepLimit: opts.StepLimit, Deadline: opts.Deadline,
+		OnPMEvent: func(k int, _ interp.PMEventKind) error {
+			if i, ok := want[k]; ok {
+				captures[i] = cm.CaptureCrashState()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cm.Run(opts.Entry, opts.Args...); err != nil {
+		return nil, fmt.Errorf("crashsim: capture run of @%s did not complete: %w", opts.Entry, err)
+	}
+	var cow *pmem.CowStats
+	for i := range captures {
+		if captures[i] == nil {
+			return nil, fmt.Errorf("crashsim: crash point %d was not reached on the capture run", points[i])
+		}
+	}
+	if len(captures) > 0 {
+		// One snapshot family covers the whole run: the tracker's durable
+		// image, every capture, and every image overlay derived from them.
+		cow = captures[0].Durable.Stats()
 	}
 
 	// completed[i] = durability points passed once event points[i] (its
@@ -270,12 +379,6 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	}
 	lastEvent := len(log)
 
-	type pointResult struct {
-		schedules int
-		pruned    int64
-		failure   *Failure
-		err       error
-	}
 	results := make([]pointResult, len(points))
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -283,6 +386,12 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable RNG per worker: Seed() reinitializes the
+			// source in place, producing the exact stream a fresh
+			// rand.NewSource(seed) would, without its ~5KB allocation
+			// per crash point.
+			src := rand.NewSource(1)
+			rng := rand.New(src)
 			for idx := range work {
 				res := &results[idx]
 				func() {
@@ -293,9 +402,9 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 							res.err = fmt.Errorf("crashsim: panic at crash point %d: %v\n%s", points[idx], r, buf)
 						}
 					}()
-					res.schedules, res.pruned, res.failure, res.err = crashPoint(
-						mod, opts, inv, rec, points[idx], log[points[idx]-1],
-						ckptsUpTo[points[idx]], points[idx] == lastEvent)
+					src.Seed(opts.Seed + int64(points[idx])*1_000_003)
+					crashPoint(mod, opts, cache, captures[idx], inv, rec, rng, points[idx],
+						log[points[idx]-1], ckptsUpTo[points[idx]], points[idx] == lastEvent, res)
 				}()
 			}
 		}()
@@ -306,15 +415,24 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	close(work)
 	wg.Wait()
 
-	for _, res := range results {
+	for i := range results {
+		res := &results[i]
 		if res.err != nil {
 			return nil, res.err
 		}
 		rep.Schedules += res.schedules
 		rep.PrunedSchedules += res.pruned
+		rep.ImagesBuilt += res.built
+		rep.DedupedSchedules += res.deduped
+		rep.CacheHits += res.hits
+		rep.CacheMisses += res.misses
 		if res.failure != nil {
 			rep.Failures = append(rep.Failures, *res.failure)
 		}
+	}
+	if cow != nil {
+		rep.PagesShared = cow.PagesShared.Load()
+		rep.PagesCopied = cow.PagesCopied.Load()
 	}
 	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].Event < rep.Failures[j].Event })
 	if opts.Log != nil {
@@ -326,88 +444,128 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	sp.Add("crash.points_pruned", int64(rep.PrunedPoints))
 	sp.Add("crash.schedules", int64(rep.Schedules))
 	sp.Add("crash.schedules_pruned", rep.PrunedSchedules)
+	sp.Add("crash.schedules_deduped", int64(rep.DedupedSchedules))
+	sp.Add("crash.images_built", int64(rep.ImagesBuilt))
+	sp.Add("crash.cache.hits", rep.CacheHits)
+	sp.Add("crash.cache.misses", rep.CacheMisses)
+	sp.Add("crash.cow.pages_shared", rep.PagesShared)
+	sp.Add("crash.cow.pages_copied", rep.PagesCopied)
 	sp.Add("crash.failures", int64(len(rep.Failures)))
 	return rep, nil
 }
 
-// crashPoint re-runs the workload to crash at event k, enumerates the
-// feasible images there, and recovers each. It returns the first failing
-// schedule (enumeration at this point stops there: the point is failed).
-func crashPoint(mod *ir.Module, opts Options, inv, rec *entrySpec, k int, kind interp.PMEventKind, completed int, last bool) (int, int64, *Failure, error) {
-	mach, err := interp.New(mod, interp.Options{
-		CrashAtEvent: k, StepLimit: opts.StepLimit, Deadline: opts.Deadline,
-	})
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	if _, err := mach.Run(opts.Entry, opts.Args...); !errors.Is(err, interp.ErrSimulatedCrash) {
-		return 0, 0, nil, fmt.Errorf("crashsim: crash at event %d did not fire (err=%v)", k, err)
-	}
-
-	lines := mach.Track.PendingLines()
-	sizes := make([]int, len(lines))
-	for i, pl := range lines {
-		sizes[i] = len(pl.Stores)
-	}
-	rng := rand.New(rand.NewSource(opts.Seed + int64(k)*1_000_003))
-	schedules, feasible := enumerateCuts(sizes, opts.MaxImages, rng)
-	pruned := feasible - int64(len(schedules))
-
-	executed := 0
-	for _, cuts := range schedules {
-		executed++
-		f, err := recoverImage(mod, opts, mach, inv, rec, cuts, k, kind, completed, last)
-		if err != nil {
-			return executed, pruned, nil, err
-		}
-		if f != nil {
-			return executed, pruned, f, nil
-		}
-	}
-	return executed, pruned, nil, nil
+// pointResult accumulates one crash point's outcome.
+type pointResult struct {
+	schedules int
+	pruned    int64
+	built     int
+	deduped   int
+	hits      int64
+	misses    int64
+	failure   *Failure
+	err       error
 }
 
-// recoverImage builds the image for one schedule and runs the applicable
-// recovery entries on it. A non-nil Failure means the schedule failed;
-// a non-nil error means the engine itself broke.
-func recoverImage(mod *ir.Module, opts Options, mach *interp.Machine, inv, rec *entrySpec, cuts []int, k int, kind interp.PMEventKind, completed int, last bool) (*Failure, error) {
-	runEntry := func(e *entrySpec) (*Failure, error) {
-		img := mach.CrashImageCuts(cuts)
-		m2, err := interp.New(mod, interp.Options{
-			Memory: img, ResumePM: true,
-			StepLimit: opts.StepLimit, Deadline: opts.Deadline,
-		})
-		if err != nil {
-			return nil, err
-		}
-		var args []uint64
-		if e.arity == 1 {
-			args = []uint64{uint64(completed)}
-		}
-		ret, err := m2.Run(e.name, args...)
-		if err != nil || ret != 0 {
-			return &Failure{
-				Event: k, Kind: kind, Completed: completed,
-				Cuts: append([]int(nil), cuts...), Entry: e.name, Err: err, Ret: ret,
-			}, nil
-		}
-		return nil, nil
+// crashPoint enumerates the feasible images of one captured crash state
+// and recovers each distinct one. The first failing schedule fails the
+// point (enumeration stops there). cache is nil iff dedup is off. rng
+// must already be seeded with opts.Seed + k*1_000_003 (the per-point
+// formula the deflake guard pins).
+func crashPoint(mod *ir.Module, opts Options, cache *VerdictCache, cs *pmem.CrashState,
+	inv, rec *entrySpec, rng *rand.Rand, k int, kind interp.PMEventKind, completed int, last bool, res *pointResult) {
+	sizes := make([]int, len(cs.Lines))
+	for i, pl := range cs.Lines {
+		sizes[i] = len(pl.Stores)
 	}
+	schedules, feasible := enumerateCuts(sizes, opts.MaxImages, rng)
+	res.pruned = feasible - int64(len(schedules))
 
-	if inv != nil {
-		if f, err := runEntry(inv); f != nil || err != nil {
-			return f, err
-		}
-	}
 	// The promise entry is anchored at durability points: parameterized
 	// entries run at every checkpoint-event crash, no-parameter entries
 	// only at the final one (they state whole-workload promises).
+	entries := make([]*entrySpec, 0, 2)
+	if inv != nil {
+		entries = append(entries, inv)
+	}
 	if rec != nil && kind == interp.EvCheckpoint && (rec.arity == 1 || last) {
-		if f, err := runEntry(rec); f != nil || err != nil {
-			return f, err
+		entries = append(entries, rec)
+	}
+
+	builder := cs.NewBuilder()
+	for _, cuts := range schedules {
+		res.schedules++
+		var hash uint64
+		if cache != nil {
+			hash = cs.HashCuts(cuts)
+		}
+		sought, booted := false, false
+		for _, e := range entries {
+			arg := -1
+			var args []uint64
+			if e.arity == 1 {
+				arg = completed
+				args = []uint64{uint64(completed)}
+			}
+			var key verdictKey
+			var v cachedVerdict
+			if cache != nil {
+				key = verdictKey{image: hash, entry: e.name, arg: arg}
+				var ok bool
+				if v, ok = cache.lookup(key); ok {
+					res.hits++
+				} else {
+					res.misses++
+					v, res.err = bootRecovery(mod, opts, builder, cuts, &sought, e, args)
+					if res.err != nil {
+						return
+					}
+					res.built++
+					booted = true
+					cache.store(key, v)
+				}
+			} else {
+				v, res.err = bootRecovery(mod, opts, builder, cuts, &sought, e, args)
+				if res.err != nil {
+					return
+				}
+				res.built++
+				booted = true
+			}
+			if !v.pass {
+				res.failure = &Failure{
+					Event: k, Kind: kind, Completed: completed,
+					Cuts: append([]int(nil), cuts...), Entry: e.name, Err: v.err, Ret: v.ret,
+				}
+				return
+			}
+		}
+		if cache != nil && !booted && len(entries) > 0 {
+			res.deduped++
 		}
 	}
-	return nil, nil
+}
+
+// bootRecovery materializes the schedule's image (seeking the builder on
+// first need, then snapshotting per entry so each boot gets a pristine
+// image) and runs one recovery entry on a fresh machine. The returned
+// error is engine-level; recovery rejections land in the verdict.
+func bootRecovery(mod *ir.Module, opts Options, builder *pmem.ImageBuilder, cuts []int,
+	sought *bool, e *entrySpec, args []uint64) (cachedVerdict, error) {
+	if !*sought {
+		builder.Seek(cuts)
+		*sought = true
+	}
+	// NoTrack: the boot's verdict is the entry's return value; shadow
+	// durability tracking would only burn memory per recovery store.
+	m2, err := interp.New(mod, interp.Options{
+		Memory: builder.Image(), ResumePM: true, NoTrack: true,
+		StepLimit: opts.StepLimit, Deadline: opts.Deadline,
+	})
+	if err != nil {
+		return cachedVerdict{}, err
+	}
+	ret, rerr := m2.Run(e.name, args...)
+	return cachedVerdict{pass: rerr == nil && ret == 0, ret: ret, err: rerr}, nil
 }
 
 // resolveEntry looks up a recovery entry and checks its shape: defined,
@@ -433,7 +591,9 @@ func resolveEntry(mod *ir.Module, name string) (*entrySpec, error) {
 // events up to budget. Events where no entry could run are skipped
 // outright (they count as pruned): without an invariant entry a
 // non-checkpoint crash has nothing to validate, and an arity-0 promise
-// entry only speaks about the final durability point.
+// entry only speaks about the final durability point. The selection
+// depends only on the event log and the budget — never on the dedup
+// mode — so -crash-points budgets pick identical schedules either way.
 func selectPoints(log []interp.PMEventKind, budget int, invAll bool, rec *entrySpec) []int {
 	lastCkpt := 0
 	for i, k := range log {

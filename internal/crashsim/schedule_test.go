@@ -156,3 +156,39 @@ func sortedInts(xs []int) bool {
 	}
 	return true
 }
+
+// TestPointSelectionStableAcrossDedup is the deflake guard for the fast
+// path: crash-point selection and per-point schedule enumeration are
+// pure functions of the event log, the budgets, and the seed — the
+// dedup mode must not leak into either. A Validate-level twin
+// (TestDedupVerdictsIdentical) checks the same property end to end via
+// Report.PointEvents; this unit pins the two deterministic inputs
+// directly so a regression localizes.
+func TestPointSelectionStableAcrossDedup(t *testing.T) {
+	s, f, c := interp.EvStore, interp.EvFlush, interp.EvCheckpoint
+	log := []interp.PMEventKind{s, s, f, c, s, f, s, c, s, s, c}
+	arity1 := &entrySpec{name: "crash_check", arity: 1}
+	for _, budget := range []int{1, 3, 5, 100} {
+		a := selectPoints(log, budget, true, arity1)
+		b := selectPoints(log, budget, true, arity1)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("budget %d: point selection not reproducible: %v vs %v", budget, a, b)
+		}
+	}
+	// Schedule order per point depends only on (sizes, budget, seed):
+	// the stratified sample opens with the all-zero corner and repeats
+	// exactly for the per-point seed formula both engine modes use.
+	sizes := []int{2, 4, 1, 3}
+	const seed, point = 1, 17
+	mk := func() [][]int {
+		cuts, _ := enumerateCuts(sizes, 8, rand.New(rand.NewSource(seed+int64(point)*1_000_003)))
+		return cuts
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedule enumeration not reproducible for the per-point seed")
+	}
+	if !reflect.DeepEqual(a[0], []int{0, 0, 0, 0}) {
+		t.Fatalf("first schedule = %v, want the all-zero corner first (stratified order)", a[0])
+	}
+}

@@ -1,11 +1,14 @@
 package crashsim_test
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
 	"hippocrates/internal/core"
 	"hippocrates/internal/crashsim"
+	"hippocrates/internal/ir"
 	"hippocrates/internal/lang"
 )
 
@@ -210,5 +213,149 @@ int main() {
 `
 	if _, err := crashsim.Validate(lang.MustCompile("bad.pmc", srcBadArity), crashsim.Options{}); err == nil {
 		t.Error("two-parameter recovery entry accepted")
+	}
+}
+
+// failureKeys canonicalizes a report's failures for cross-run comparison.
+func failureKeys(rep *crashsim.Report) []string {
+	out := make([]string, len(rep.Failures))
+	for i, f := range rep.Failures {
+		out[i] = fmt.Sprintf("%d/%s/%d/%v/%s/%d", f.Event, f.Kind, f.Completed, f.Cuts, f.Entry, f.Ret)
+	}
+	return out
+}
+
+// TestDedupVerdictsIdentical is the dedup soundness gate at unit scale:
+// with and without the content-addressed verdict cache, a buggy build
+// and a repaired build must report the same schedules, the same crash
+// points, and byte-for-byte the same failures. Only the work accounting
+// (images built, cache traffic) may differ.
+func TestDedupVerdictsIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mod  func() *ir.Module
+	}{
+		{"buggy-publish", func() *ir.Module { return lang.MustCompile("publish.pmc", srcPublish) }},
+		{"buggy-wide", func() *ir.Module { return lang.MustCompile("wide.pmc", srcWide) }},
+		{"repaired-publish", func() *ir.Module {
+			mod := lang.MustCompile("publish.pmc", srcPublish)
+			if _, err := core.RunAndRepair(mod, "main", core.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			return mod
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := crashsim.Options{MaxImages: 8}
+			on, err := crashsim.Validate(tc.mod(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.NoDedup = true
+			off, err := crashsim.Validate(tc.mod(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !on.DedupEnabled || off.DedupEnabled {
+				t.Fatalf("DedupEnabled flags = (%v, %v), want (true, false)", on.DedupEnabled, off.DedupEnabled)
+			}
+			if on.Schedules != off.Schedules || on.Points != off.Points {
+				t.Errorf("work disagrees: dedup %d schedules/%d points, no-dedup %d/%d",
+					on.Schedules, on.Points, off.Schedules, off.Points)
+			}
+			if !reflect.DeepEqual(on.PointEvents, off.PointEvents) {
+				t.Errorf("point selection diverged: %v vs %v", on.PointEvents, off.PointEvents)
+			}
+			if a, b := failureKeys(on), failureKeys(off); !reflect.DeepEqual(a, b) {
+				t.Errorf("verdicts diverged:\n  dedup:    %v\n  no-dedup: %v", a, b)
+			}
+			if off.CacheHits != 0 || off.CacheMisses != 0 || off.DedupedSchedules != 0 {
+				t.Errorf("no-dedup run reported cache traffic: %d hits, %d misses, %d deduped",
+					off.CacheHits, off.CacheMisses, off.DedupedSchedules)
+			}
+			if on.ImagesBuilt > off.ImagesBuilt {
+				t.Errorf("dedup built more images (%d) than no-dedup (%d)", on.ImagesBuilt, off.ImagesBuilt)
+			}
+			if on.CacheHits+on.CacheMisses == 0 {
+				t.Error("dedup run recorded no cache lookups")
+			}
+		})
+	}
+}
+
+// TestDedupAccounting pins the new Report fields on a run where byte
+// collisions are guaranteed: a correct program whose every crash point
+// leaves the same durable bytes feasible many times over.
+func TestDedupAccounting(t *testing.T) {
+	mod := lang.MustCompile("publish.pmc", srcPublish)
+	if _, err := core.RunAndRepair(mod, "main", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := crashsim.Validate(mod, crashsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("repaired build failed: %s", rep.Failures[0])
+	}
+	if rep.DedupedSchedules == 0 && rep.CacheHits == 0 {
+		t.Error("no dedup on a workload full of identical images")
+	}
+	if rep.ImagesBuilt == 0 {
+		t.Error("ImagesBuilt = 0; nothing was ever judged")
+	}
+	if rep.ImagesBuilt != int(rep.CacheMisses) {
+		t.Errorf("ImagesBuilt (%d) != CacheMisses (%d): every miss should boot exactly one image",
+			rep.ImagesBuilt, rep.CacheMisses)
+	}
+	if rep.PagesShared == 0 {
+		t.Error("PagesShared = 0; captures are not sharing durable pages")
+	}
+	if !strings.Contains(rep.Summary(), "crashsim: dedup:") {
+		t.Errorf("Summary lacks the dedup line:\n%s", rep.Summary())
+	}
+	rep2, err := crashsim.Validate(lang.MustCompile("publish.pmc", srcPublish),
+		crashsim.Options{NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep2.Summary(), "dedup disabled") {
+		t.Errorf("NoDedup Summary lacks the disabled note:\n%s", rep2.Summary())
+	}
+}
+
+// TestSharedCacheAcrossRuns: a second Validate of the same module with a
+// shared VerdictCache must serve (nearly) everything from the cache.
+func TestSharedCacheAcrossRuns(t *testing.T) {
+	mod := lang.MustCompile("publish.pmc", srcPublish)
+	if _, err := core.RunAndRepair(mod, "main", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cache := crashsim.NewVerdictCache()
+	opts := crashsim.Options{Cache: cache}
+	first, err := crashsim.Validate(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := crashsim.Validate(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheMisses != 0 {
+		t.Errorf("re-validation of an identical module missed the shared cache %d time(s)", second.CacheMisses)
+	}
+	if second.ImagesBuilt != 0 {
+		t.Errorf("re-validation built %d image(s); want 0 (all verdicts cached)", second.ImagesBuilt)
+	}
+	if first.Passed() != second.Passed() {
+		t.Error("shared cache changed the verdict")
+	}
+	cache.Reset()
+	third, err := crashsim.Validate(mod, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ImagesBuilt == 0 {
+		t.Error("Reset did not invalidate the cache")
 	}
 }

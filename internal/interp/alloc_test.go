@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"testing"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/trace"
+)
+
+// buildPMLoop returns a module whose main(n) performs n iterations of
+// store→flush→fence on one PM line: 3 PM events per iteration, the
+// interpreter's hot path.
+func buildPMLoop(t testing.TB) *ir.Module {
+	t.Helper()
+	m := newModule("allocloop")
+	m.AddGlobal(&ir.Global{Name: "cell", Elem: ir.I64, PM: true})
+	f := ir.NewFunc("main", ir.I64, &ir.Param{Name: "n", Ty: ir.I64})
+	m.AddFunc(f)
+	b := ir.NewBuilder(f)
+	i := b.Alloca(ir.I64)
+	b.Store(ir.I64, ir.ConstInt(0), i)
+	cond := b.NewBlock("cond")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Jmp(cond)
+	b.SetBlock(cond)
+	iv := b.Load(ir.I64, i)
+	c := b.Cmp(ir.OpLt, iv, f.Params[0])
+	b.Br(c, body, exit)
+	b.SetBlock(body)
+	g := m.Global("cell")
+	b.Store(ir.I64, iv, g)
+	b.Flush(ir.CLWB, g)
+	b.Fence(ir.SFENCE)
+	inc := b.Bin(ir.OpAdd, ir.I64, iv, ir.ConstInt(1))
+	b.Store(ir.I64, inc, i)
+	b.Jmp(cond)
+	b.SetBlock(exit)
+	b.Ret(ir.ConstInt(0))
+	f.Renumber()
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runAllocs measures heap allocations for one full run (machine
+// construction included) of main(iters).
+func runAllocs(t *testing.T, m *ir.Module, iters uint64, traced bool) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		var tr *trace.Trace
+		if traced {
+			tr = &trace.Trace{Program: "alloc"}
+		}
+		mach, err := New(m, Options{Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mach.Run("main", iters); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRunAllocsPerEvent guards the interpreter's per-PM-event allocation
+// budget: store payloads, tracker records, trace events, and stack-frame
+// slices all come from arenas, so the only per-iteration heap allocation
+// left is the pending-line slice the tracker's map keeps (~0.34 per
+// event on this workload). The bounds have headroom over the measured
+// values but sit well below the one-heap-allocation-per-store mark —
+// they fail `make verify` if someone reintroduces per-event allocation,
+// without pinning exact counts.
+func TestRunAllocsPerEvent(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	m := buildPMLoop(t)
+	const iters = 2000
+	const events = 3 * iters // store + flush + fence per iteration
+
+	// Fixed per-run overhead (machine construction, globals, final
+	// checkpoint): measured at zero iterations.
+	fixed := runAllocs(t, m, 0, false)
+	fixedTraced := runAllocs(t, m, 0, true)
+
+	untraced := runAllocs(t, m, iters, false)
+	perEvent := (untraced - fixed) / events
+	t.Logf("untraced: %.0f allocs total, %.4f per PM event (fixed %.0f)", untraced, perEvent, fixed)
+	if perEvent > 0.5 {
+		t.Errorf("untraced hot path allocates %.4f objects per PM event, want <= 0.5", perEvent)
+	}
+
+	traced := runAllocs(t, m, iters, true)
+	perEventTraced := (traced - fixedTraced) / events
+	t.Logf("traced: %.0f allocs total, %.4f per PM event (fixed %.0f)", traced, perEventTraced, fixedTraced)
+	if perEventTraced > 0.75 {
+		t.Errorf("traced hot path allocates %.4f objects per PM event, want <= 0.75 (arena-backed trace recording)", perEventTraced)
+	}
+}

@@ -85,7 +85,7 @@ func biPMAlloc(m *Machine, args []uint64) (uint64, error) {
 	if addr+n > pmem.PMBase+pmem.DefaultPMSize {
 		return 0, m.fault("persistent memory exhausted (%d bytes requested)", n)
 	}
-	m.emit(&trace.Event{Kind: trace.KindAlloc, Addr: addr, Size: int(n), Stack: m.stack(m.callInstr())})
+	m.emit(m.callInstr(), trace.Event{Kind: trace.KindAlloc, Addr: addr, Size: int(n)})
 	return addr, nil
 }
 
@@ -140,8 +140,7 @@ func (m *Machine) pmStoreChunks(addr uint64, buf []byte, callIn *ir.Instr) error
 		}
 		a := addr + off
 		data := buf[off : off+chunk]
-		seq := m.seq
-		m.emit(&trace.Event{Kind: trace.KindStore, Addr: a, Size: int(chunk), Stack: m.stack(callIn)})
+		seq := m.emit(callIn, trace.Event{Kind: trace.KindStore, Addr: a, Size: int(chunk)})
 		m.Track.OnStore(seq, a, data)
 		m.Clock.Advance(m.cost.StorePM)
 		if err := m.pmEvent(EvStore); err != nil {
@@ -221,8 +220,7 @@ func biFlushRange(m *Machine, args []uint64) (uint64, error) {
 		if !pmem.IsPM(line) {
 			continue
 		}
-		seq := m.seq
-		m.emit(&trace.Event{Kind: trace.KindFlush, FlushK: ir.CLWB, Addr: line, Stack: m.stack(callIn)})
+		seq := m.emit(callIn, trace.Event{Kind: trace.KindFlush, FlushK: ir.CLWB, Addr: line})
 		m.Track.OnFlush(seq, false, line) // weakly ordered: pays at the fence
 		if err := m.pmEvent(EvFlush); err != nil {
 			return 0, err

@@ -53,6 +53,23 @@ type Options struct {
 	// machine holds the exact durability state an eviction-order
 	// enumerator needs (see internal/crashsim).
 	CrashAtEvent int
+	// OnPMEvent, when non-nil, is called at every PM event boundary
+	// after the event's tracker effect has been applied (and before
+	// CrashAtEvent is considered): k is the 1-based event index — the
+	// CrashAtEvent coordinate — and kind the event's kind. Returning a
+	// non-nil error aborts the run with it. The hook may capture
+	// durability state (CaptureCrashState) but must not otherwise mutate
+	// the machine; it lets one workload execution stand in for a
+	// re-execution per crash point.
+	OnPMEvent func(k int, kind PMEventKind) error
+	// NoTrack disables durability tracking: the machine runs with a nil
+	// Track, records no violations, and cannot capture crash images
+	// (CrashImage, CrashImageCuts, CaptureCrashState panic). Memory
+	// semantics are unchanged — stores still hit Mem — only the shadow
+	// durability state is skipped. Crash-validation recovery boots use
+	// this: they only need the entry's verdict, and the tracker's
+	// per-store records are the bulk of a boot's allocation.
+	NoTrack bool
 }
 
 // ErrSimulatedCrash is returned by Run when Options.CrashAtCheckpoint or
@@ -152,6 +169,15 @@ type Machine struct {
 	// per event; its length is the CrashAtEvent coordinate space.
 	pmEventLog []PMEventKind
 
+	// events and frameArena are chunked arenas for trace recording:
+	// Event records and stack-frame slices are carved from block
+	// allocations, so a traced run pays amortized chunk allocations
+	// instead of two heap allocations per PM event. Untraced runs touch
+	// neither (emit elides the Event entirely).
+	events    eventArena
+	frameBuf  []trace.Frame
+	frameUsed int
+
 	// ops counts executed instructions per opcode. A dense array indexed
 	// by ir.Op keeps the dispatch-loop cost to one increment; the map view
 	// is built on demand by OpcodeCounts.
@@ -214,7 +240,6 @@ func (e *RuntimeError) Error() string {
 func New(mod *ir.Module, opts Options) (*Machine, error) {
 	m := &Machine{
 		Mod:        mod,
-		Track:      pmem.NewTracker(),
 		opts:       opts,
 		cost:       opts.Cost,
 		builtins:   make(map[string]Builtin),
@@ -222,6 +247,9 @@ func New(mod *ir.Module, opts Options) (*Machine, error) {
 		heapNext:   pmem.HeapBase,
 		max:        opts.StepLimit,
 		deadline:   opts.Deadline,
+	}
+	if !opts.NoTrack {
+		m.Track = pmem.NewTracker()
 	}
 	m.hasDeadline = !opts.Deadline.IsZero()
 	if m.cost == nil {
@@ -273,7 +301,7 @@ func New(mod *ir.Module, opts Options) (*Machine, error) {
 		if g.PM {
 			// Announce the persistent region to the trace (bug finders
 			// know registered pools; Trace-AA consumes these events).
-			m.emit(&trace.Event{Kind: trace.KindAlloc, Addr: addr, Size: int(size), Sym: g.Name})
+			m.emit(nil, trace.Event{Kind: trace.KindAlloc, Addr: addr, Size: int(size), Sym: g.Name})
 		}
 		if g.PM && opts.ResumePM {
 			// A restart: PM contents come from the supplied image.
@@ -282,7 +310,7 @@ func New(mod *ir.Module, opts Options) (*Machine, error) {
 		if len(g.Init) > 0 {
 			m.Mem.Write(addr, g.Init)
 		}
-		if g.PM {
+		if g.PM && m.Track != nil {
 			// Pre-existing PM content is durable by definition.
 			m.Track.SeedDurable(addr, initImage(g))
 		}
@@ -373,6 +401,20 @@ func (m *Machine) CrashImageCuts(cuts []int) *pmem.Memory {
 	return m.stampMeta(m.Track.CrashImagePrefix(cuts))
 }
 
+// CaptureCrashState snapshots the machine's current durability state —
+// the copy-on-write durable image, the pending lines, and the allocator
+// metadata line — for deferred crash-image construction. Capturing at a
+// PM event boundary (from an Options.OnPMEvent hook) yields exactly the
+// state a CrashAtEvent run would hold at that boundary, at the cost of a
+// page-map copy instead of a whole re-execution.
+func (m *Machine) CaptureCrashState() *pmem.CrashState {
+	cs := m.Track.CaptureCrashState()
+	meta := make([]byte, pmem.LineSize)
+	m.Mem.Read(pmem.PMBase, meta)
+	cs.Meta = meta
+	return cs
+}
+
 // stampMeta copies the allocator's reserved metadata line into a crash
 // image (the simulated hardware keeps it consistent on its own).
 func (m *Machine) stampMeta(img *pmem.Memory) *pmem.Memory {
@@ -392,14 +434,84 @@ func (m *Machine) fault(format string, args ...any) error {
 	return &RuntimeError{Msg: fmt.Sprintf(format, args...), Stack: m.stack(nil)}
 }
 
-// stack builds the current call stack, innermost first. When in is
+// stack builds the current call stack, innermost first, as a private
+// allocation (error paths; hot paths use stackFrames). When in is
 // non-nil it is the active instruction of the top frame.
 func (m *Machine) stack(in *ir.Instr) []trace.Frame {
-	out := make([]trace.Frame, 0, len(m.frames))
-	for i := len(m.frames) - 1; i >= 0; i-- {
+	out := make([]trace.Frame, len(m.frames))
+	m.fillStack(out, in)
+	return out
+}
+
+// eventArena hands out trace.Event records carved from chunk
+// allocations. Records are used once; earlier pointers stay valid when a
+// new chunk starts.
+type eventArena struct {
+	buf []trace.Event
+	n   int
+}
+
+func (a *eventArena) next() *trace.Event {
+	if a.n == len(a.buf) {
+		a.buf = make([]trace.Event, 512)
+		a.n = 0
+	}
+	e := &a.buf[a.n]
+	a.n++
+	return e
+}
+
+// emit advances the global PM event sequence and returns the assigned
+// number. When tracing is on, it also records the event with the current
+// call stack (in is the active instruction of the top frame; nil for
+// machine-setup events). Untraced runs pay only the increment: no Event
+// or stack is materialized.
+func (m *Machine) emit(in *ir.Instr, e trace.Event) int {
+	seq := m.seq
+	m.seq++
+	tr := m.opts.Trace
+	if tr == nil {
+		return seq
+	}
+	ev := m.events.next()
+	*ev = e
+	ev.Seq = seq
+	ev.Stack = m.stackFrames(in)
+	tr.Events = append(tr.Events, ev)
+	return seq
+}
+
+// stackFrames is stack carved from the frame arena: same contents,
+// amortized allocation. Slices are capacity-clipped so a consumer's
+// append cannot clobber a neighbor.
+func (m *Machine) stackFrames(in *ir.Instr) []trace.Frame {
+	n := len(m.frames)
+	if n == 0 {
+		return nil
+	}
+	if m.frameUsed+n > len(m.frameBuf) {
+		sz := 1024
+		if n > sz {
+			sz = n
+		}
+		m.frameBuf = make([]trace.Frame, sz)
+		m.frameUsed = 0
+	}
+	out := m.frameBuf[m.frameUsed : m.frameUsed+n : m.frameUsed+n]
+	m.frameUsed += n
+	m.fillStack(out, in)
+	return out
+}
+
+// fillStack writes the call stack, innermost first, into out (length
+// len(m.frames)). When in is non-nil it is the active instruction of the
+// top frame.
+func (m *Machine) fillStack(out []trace.Frame, in *ir.Instr) {
+	top := len(m.frames) - 1
+	for i := top; i >= 0; i-- {
 		f := m.frames[i]
 		cur := f.cur
-		if i == len(m.frames)-1 && in != nil {
+		if i == top && in != nil {
 			cur = in
 		}
 		fr := trace.Frame{Func: f.fn.Name}
@@ -407,23 +519,15 @@ func (m *Machine) stack(in *ir.Instr) []trace.Frame {
 			fr.InstrID = cur.ID
 			fr.Loc = cur.Loc
 		}
-		out = append(out, fr)
-	}
-	return out
-}
-
-func (m *Machine) emit(e *trace.Event) {
-	e.Seq = m.seq
-	m.seq++
-	if m.opts.Trace != nil {
-		m.opts.Trace.Events = append(m.opts.Trace.Events, e)
+		out[top-i] = fr
 	}
 }
 
 func (m *Machine) checkpoint(in *ir.Instr) error {
-	seq := m.seq
-	m.emit(&trace.Event{Kind: trace.KindCheckpoint, Stack: m.stack(in)})
-	m.Violations = append(m.Violations, m.Track.OnCheckpoint(seq)...)
+	seq := m.emit(in, trace.Event{Kind: trace.KindCheckpoint})
+	if m.Track != nil {
+		m.Violations = append(m.Violations, m.Track.OnCheckpoint(seq)...)
+	}
 	m.checkpoints++
 	if m.opts.CrashAtCheckpoint > 0 && m.checkpoints == m.opts.CrashAtCheckpoint {
 		m.pmEventLog = append(m.pmEventLog, EvCheckpoint)
@@ -435,11 +539,17 @@ func (m *Machine) checkpoint(in *ir.Instr) error {
 // Checkpoints returns the number of durability points passed so far.
 func (m *Machine) Checkpoints() int { return m.checkpoints }
 
-// pmEvent logs one PM event boundary and fires Options.CrashAtEvent.
-// Callers invoke it after applying the event's tracker effect, so a
-// simulated crash observes the post-event durability state.
+// pmEvent logs one PM event boundary, fires Options.OnPMEvent, then
+// Options.CrashAtEvent. Callers invoke it after applying the event's
+// tracker effect, so both the hook and a simulated crash observe the
+// post-event durability state.
 func (m *Machine) pmEvent(k PMEventKind) error {
 	m.pmEventLog = append(m.pmEventLog, k)
+	if m.opts.OnPMEvent != nil {
+		if err := m.opts.OnPMEvent(len(m.pmEventLog), k); err != nil {
+			return err
+		}
+	}
 	if m.opts.CrashAtEvent > 0 && len(m.pmEventLog) == m.opts.CrashAtEvent {
 		return ErrSimulatedCrash
 	}
@@ -574,20 +684,26 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		}
 		m.Mem.WriteUint(addr, int(size), val)
 		if pmem.IsPM(addr) {
-			data := make([]byte, size)
+			// IR scalars are at most 8 bytes, so the payload fits a stack
+			// buffer; the tracker makes its own durable copy.
+			var buf [8]byte
+			data := buf[:size]
 			m.Mem.Read(addr, data)
 			kind := trace.KindStore
 			if in.Op == ir.OpNTStore {
 				kind = trace.KindNTStore
 			}
-			seq := m.seq
-			m.emit(&trace.Event{Kind: kind, Addr: addr, Size: int(size), Stack: m.stack(in)})
+			seq := m.emit(in, trace.Event{Kind: kind, Addr: addr, Size: int(size)})
 			ev := EvStore
 			if in.Op == ir.OpNTStore {
-				m.Track.OnNTStore(seq, addr, data)
 				ev = EvNTStore
-			} else {
-				m.Track.OnStore(seq, addr, data)
+			}
+			if m.Track != nil {
+				if in.Op == ir.OpNTStore {
+					m.Track.OnNTStore(seq, addr, data)
+				} else {
+					m.Track.OnStore(seq, addr, data)
+				}
 			}
 			m.Clock.Advance(m.cost.StorePM)
 			if err := m.pmEvent(ev); err != nil {
@@ -630,9 +746,11 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		addr := m.eval(f, in.Args[0])
 		m.Clock.Advance(m.cost.Flush)
 		if pmem.IsPM(addr) {
-			seq := m.seq
-			m.emit(&trace.Event{Kind: trace.KindFlush, FlushK: in.FlushK, Addr: addr, Stack: m.stack(in)})
-			moved := m.Track.OnFlush(seq, in.FlushK.Ordered(), addr)
+			seq := m.emit(in, trace.Event{Kind: trace.KindFlush, FlushK: in.FlushK, Addr: addr})
+			moved := 0
+			if m.Track != nil {
+				moved = m.Track.OnFlush(seq, in.FlushK.Ordered(), addr)
+			}
 			if moved > 0 && in.FlushK.Ordered() {
 				// CLFLUSH commits immediately; CLWB/CLFLUSHOPT park the
 				// line in the write-pending queue and pay at the fence.
@@ -647,9 +765,11 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		// exists to avoid (§3.2).
 
 	case ir.OpFence:
-		seq := m.seq
-		m.emit(&trace.Event{Kind: trace.KindFence, FenceK: in.FenceK, Stack: m.stack(in)})
-		drained := m.Track.OnFence(seq)
+		seq := m.emit(in, trace.Event{Kind: trace.KindFence, FenceK: in.FenceK})
+		drained := 0
+		if m.Track != nil {
+			drained = m.Track.OnFence(seq)
+		}
 		m.Clock.Advance(m.cost.FenceBase + float64(drained)*m.cost.FenceDrainPerLine)
 		if err := m.pmEvent(EvFence); err != nil {
 			return err

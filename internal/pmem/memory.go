@@ -1,30 +1,158 @@
 package pmem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
 
 // pageSize is the granularity of the sparse backing store.
 const pageSize = 1 << 12
 
+// CowStats aggregates copy-on-write page accounting for one snapshot
+// family (every Memory derived from the same root shares one). The
+// fields are atomic because image overlays derived from a shared frozen
+// base may be written from concurrent crash-validation workers.
+type CowStats struct {
+	// Snapshots counts Snapshot calls in the family.
+	Snapshots atomic.Int64
+	// PagesShared counts page references handed out by Snapshot instead
+	// of deep-copied.
+	PagesShared atomic.Int64
+	// PagesCopied counts pages that were privatized by a write (the
+	// actual copy work the family ever paid).
+	PagesCopied atomic.Int64
+}
+
 // Memory is a sparse byte-addressable memory covering the whole simulated
 // address space. Pages materialize (zeroed) on first touch; reads of
 // untouched pages return zeros without allocating.
+//
+// Snapshots are copy-on-write: Snapshot shares every current page with
+// the new Memory and the first write on either side privatizes the
+// touched page. Overlay layers an empty page map over a frozen base, so
+// many images can share one durable base; the base must not be written
+// while overlays of it are live.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+	// shared marks pages co-owned with a snapshot: a write must copy the
+	// page before mutating it. Allocated lazily.
+	shared map[uint64]bool
+	// base is the frozen lower layer for overlays (nil for roots).
+	// Reads fall through to it; writes copy the page up.
+	base *Memory
+	// stats is the family-wide COW accounting.
+	stats *CowStats
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+	return &Memory{pages: make(map[uint64]*[pageSize]byte), stats: new(CowStats)}
+}
+
+// Stats returns the COW accounting shared by this memory's whole
+// snapshot family.
+func (m *Memory) Stats() *CowStats { return m.stats }
+
+// lookup finds the page through the base chain without materializing or
+// privatizing anything.
+func (m *Memory) lookup(pn uint64) *[pageSize]byte {
+	for mm := m; mm != nil; mm = mm.base {
+		if pg, ok := mm.pages[pn]; ok {
+			return pg
+		}
+	}
+	return nil
 }
 
 func (m *Memory) page(addr uint64, create bool) (*[pageSize]byte, uint64) {
 	pn := addr / pageSize
-	pg, ok := m.pages[pn]
-	if !ok && create {
-		pg = new([pageSize]byte)
-		m.pages[pn] = pg
+	off := addr % pageSize
+	if pg, ok := m.pages[pn]; ok {
+		if create && m.shared[pn] {
+			// Copy-on-write: privatize the page co-owned with a snapshot.
+			cp := new([pageSize]byte)
+			*cp = *pg
+			m.pages[pn] = cp
+			delete(m.shared, pn)
+			m.stats.PagesCopied.Add(1)
+			return cp, off
+		}
+		return pg, off
 	}
-	return pg, addr % pageSize
+	if m.base != nil {
+		if bp := m.base.lookup(pn); bp != nil {
+			if !create {
+				return bp, off
+			}
+			// Copy-up: writes never reach the frozen base.
+			cp := new([pageSize]byte)
+			*cp = *bp
+			m.pages[pn] = cp
+			m.stats.PagesCopied.Add(1)
+			return cp, off
+		}
+	}
+	if !create {
+		return nil, off
+	}
+	pg := new([pageSize]byte)
+	m.pages[pn] = pg
+	return pg, off
+}
+
+// Snapshot returns a copy-on-write copy of the memory: both sides keep
+// reading the shared pages for free and the first write to a page (from
+// either side) copies just that page. The receiver and the snapshot must
+// be used from a single goroutine each unless neither is written.
+func (m *Memory) Snapshot() *Memory {
+	nm := &Memory{
+		pages: make(map[uint64]*[pageSize]byte, len(m.pages)),
+		base:  m.base,
+		stats: m.stats,
+	}
+	if len(m.pages) > 0 {
+		nm.shared = make(map[uint64]bool, len(m.pages))
+		if m.shared == nil {
+			m.shared = make(map[uint64]bool, len(m.pages))
+		}
+		for pn, pg := range m.pages {
+			nm.pages[pn] = pg
+			nm.shared[pn] = true
+			m.shared[pn] = true
+		}
+	}
+	m.stats.Snapshots.Add(1)
+	m.stats.PagesShared.Add(int64(len(m.pages)))
+	return nm
+}
+
+// Overlay returns an empty memory layered over m: reads fall through to
+// m, writes copy the touched page up into the overlay. The base must not
+// be written while the overlay is live; a frozen base may back any
+// number of concurrent overlays (each overlay is single-goroutine).
+func (m *Memory) Overlay() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte), base: m, stats: m.stats}
+}
+
+// forEachPage calls fn once per materialized page whose base address is
+// >= from, walking the union over the base chain (upper layers win).
+// Iteration order is unspecified.
+func (m *Memory) forEachPage(from uint64, fn func(pageAddr uint64, pg *[pageSize]byte)) {
+	var seen map[uint64]bool
+	if m.base != nil {
+		seen = make(map[uint64]bool)
+	}
+	for mm := m; mm != nil; mm = mm.base {
+		for pn, pg := range mm.pages {
+			if pn*pageSize < from || seen[pn] {
+				continue
+			}
+			if seen != nil {
+				seen[pn] = true
+			}
+			fn(pn*pageSize, pg)
+		}
+	}
 }
 
 // Load8 reads one byte.
@@ -115,14 +243,16 @@ func (m *Memory) WriteUint(addr uint64, size int, v uint64) {
 	}
 }
 
-// Clone deep-copies the memory (used to snapshot durable images).
+// Clone deep-copies the memory, flattening any base chain into a fresh
+// root. Snapshot is almost always the better choice; Clone remains the
+// reference semantics the COW equivalence tests compare against.
 func (m *Memory) Clone() *Memory {
 	nm := NewMemory()
-	for pn, pg := range m.pages {
+	m.forEachPage(0, func(addr uint64, pg *[pageSize]byte) {
 		cp := new([pageSize]byte)
 		*cp = *pg
-		nm.pages[pn] = cp
-	}
+		nm.pages[addr/pageSize] = cp
+	})
 	return nm
 }
 
@@ -132,16 +262,8 @@ func (m *Memory) Clone() *Memory {
 // images compare cheaply.
 func DiffPM(a, b *Memory) int {
 	pages := map[uint64]bool{}
-	for pn := range a.pages {
-		if pn*pageSize >= PMBase {
-			pages[pn] = true
-		}
-	}
-	for pn := range b.pages {
-		if pn*pageSize >= PMBase {
-			pages[pn] = true
-		}
-	}
+	a.forEachPage(PMBase, func(addr uint64, _ *[pageSize]byte) { pages[addr/pageSize] = true })
+	b.forEachPage(PMBase, func(addr uint64, _ *[pageSize]byte) { pages[addr/pageSize] = true })
 	diff := 0
 	bufA := make([]byte, pageSize)
 	bufB := make([]byte, pageSize)

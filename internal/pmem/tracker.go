@@ -112,11 +112,45 @@ type Tracker struct {
 	lastFenceSeq int
 	nPending     int
 
+	// storeArena / dataArena back TrackedStore records and their payload
+	// copies in chunks, so the per-store cost on the interpreter hot path
+	// is two bump allocations instead of two heap allocations. Records
+	// are handed out once and never recycled; pointers stay valid for
+	// the tracker's lifetime.
+	storeArena []TrackedStore
+	dataArena  []byte
+
 	// Diagnostics and statistics.
 	RedundantFlushes []RedundantFlush
 	RedundantFences  int
 	DurableStores    int
 	TotalStores      int
+}
+
+// newStore bump-allocates one TrackedStore from the arena.
+func (t *Tracker) newStore() *TrackedStore {
+	if len(t.storeArena) == 0 {
+		t.storeArena = make([]TrackedStore, 256)
+	}
+	st := &t.storeArena[0]
+	t.storeArena = t.storeArena[1:]
+	return st
+}
+
+// copyData bump-allocates a private copy of a store payload (at most 8
+// bytes in this model, but any line-sized chunk fits).
+func (t *Tracker) copyData(data []byte) []byte {
+	if len(t.dataArena) < len(data) {
+		n := 4096
+		if len(data) > n {
+			n = len(data)
+		}
+		t.dataArena = make([]byte, n)
+	}
+	out := t.dataArena[:len(data):len(data)]
+	t.dataArena = t.dataArena[len(data):]
+	copy(out, data)
+	return out
 }
 
 // NewTracker returns an empty tracker.
@@ -146,9 +180,10 @@ func (t *Tracker) OnStore(seq int, addr uint64, data []byte) *TrackedStore {
 			break
 		}
 	}
-	st := &TrackedStore{
+	st := t.newStore()
+	*st = TrackedStore{
 		Addr:     addr,
-		Data:     append([]byte(nil), data...),
+		Data:     t.copyData(data),
 		Seq:      seq,
 		State:    StoreDirty,
 		FlushSeq: -1,
@@ -288,8 +323,10 @@ func (t *Tracker) SeedDurable(addr uint64, data []byte) {
 	t.durable.Write(addr, data)
 }
 
-// DurableImage returns a snapshot of the durable PM contents.
-func (t *Tracker) DurableImage() *Memory { return t.durable.Clone() }
+// DurableImage returns a snapshot of the durable PM contents. The
+// snapshot is copy-on-write: both the tracker and the caller may keep
+// writing, each privatizing the pages it touches.
+func (t *Tracker) DurableImage() *Memory { return t.durable.Snapshot() }
 
 // CrashImage builds a possible post-crash PM image: the durable bytes plus
 // any subset of the pending stores chosen by keep (cache lines may be

@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled gates testing.AllocsPerRun guards: the race runtime
+// changes allocation behaviour, so the counts only hold without it.
+const raceEnabled = true

@@ -114,13 +114,19 @@ func (t *Trace) Append(e *Event) *Event {
 	return e
 }
 
-// KindCounts returns the number of events of each kind, keyed by the
-// kind's textual name — the per-run PM-event breakdown the telemetry
-// layer publishes as trace.event.* counters.
-func (t *Trace) KindCounts() map[string]int {
-	out := make(map[string]int)
+// NumKinds is the number of event kinds, for dense per-kind arrays.
+const NumKinds = int(KindAlloc) + 1
+
+// KindCounts returns the number of events of each kind as a dense array
+// indexed by Kind. The telemetry layer calls it once per interpreter
+// run, so it is allocation-free by design (it used to build a map per
+// call); format names with Kind(i).String() when publishing.
+func (t *Trace) KindCounts() [NumKinds]int {
+	var out [NumKinds]int
 	for _, e := range t.Events {
-		out[e.Kind.String()]++
+		if k := int(e.Kind); k >= 0 && k < NumKinds {
+			out[k]++
+		}
 	}
 	return out
 }

@@ -142,3 +142,23 @@ func TestWriteToWriter(t *testing.T) {
 		t.Error("missing header")
 	}
 }
+
+// TestKindCountsAllocFree guards the telemetry hot path: KindCounts is
+// called once per interpreter run and must not allocate (it returns a
+// dense array; it used to build a map per call).
+func TestKindCountsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race runtime")
+	}
+	tr := sampleTrace()
+	var sink [NumKinds]int
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = tr.KindCounts()
+	})
+	if allocs != 0 {
+		t.Fatalf("KindCounts allocates %.1f objects per call, want 0", allocs)
+	}
+	if sink[int(KindStore)] == 0 {
+		t.Fatal("sample trace lost its store events")
+	}
+}
