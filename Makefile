@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke
+.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke bench-server
 
 build:
 	$(GO) build ./...
@@ -40,15 +40,29 @@ crash-smoke:
 	fi
 	$(GO) run ./cmd/hippocrates -crashcheck testdata/crash_smoke.pmc
 
+# server-smoke boots hippocratesd on an ephemeral port, round-trips one
+# buggy corpus program (repair + crash validation), schema-validates the
+# response and /metrics against internal/server/schema/, and proves an
+# identical resubmit is served byte-identically from the response cache.
+server-smoke:
+	$(GO) run ./cmd/hippocratesd -smoke -quiet
+
 # verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
 # full suite under the race detector, the agreement harness, and the
-# telemetry and crash-validation smoke tests.
+# telemetry, crash-validation, and repair-service smoke tests.
 verify: vet build
 	$(GO) test -race ./...
 	$(MAKE) agreement
 	$(MAKE) metrics-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) server-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	BENCH_CRASHSIM_OUT=$(CURDIR)/BENCH_crashsim.json $(GO) test -run '^TestWriteCrashSweepJSON$$' -count=1 -v ./internal/bench/
+
+# bench-server replays the crashsim-able corpus (cold + warm rounds) against
+# an in-process daemon and writes throughput/latency/speedup to
+# BENCH_server.json.
+bench-server:
+	$(GO) run ./cmd/hippocratesd -selftest -quiet -bench-out $(CURDIR)/BENCH_server.json

@@ -13,6 +13,9 @@
 //	-entry NAME       entry function (default "main")
 //	-o FILE           write the repaired module (textual IR) to FILE
 //	-trace FILE       use an existing trace instead of running the program
+//	-static           static persistency analysis as the bug source: the
+//	                  program is never executed (repairs are planned on
+//	                  whole-program alias facts and revalidated statically)
 //	-marks MODE       heuristic pointer marks: full-aa | trace-aa
 //	-intra-only       disable hoisting (intraprocedural fixes only)
 //	-show-fixes       print each applied fix
@@ -38,6 +41,10 @@
 // always recorded here (the cost is a handful of phase-level spans) and
 // the flags only select what gets exported.
 //
+// The pipeline itself lives behind cli.Run — the same entrypoint
+// hippocratesd serves over HTTP, so the command and the daemon cannot
+// drift.
+//
 // Exit status is 1 on failure to repair.
 package main
 
@@ -45,19 +52,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"hippocrates/internal/cli"
 	"hippocrates/internal/core"
-	"hippocrates/internal/crashsim"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
-	"hippocrates/internal/pmcheck"
 )
 
 func main() {
 	entry := flag.String("entry", "main", "entry function")
 	out := flag.String("o", "", "write the repaired module to this file")
 	tracePath := flag.String("trace", "", "use an existing trace instead of running")
+	staticMode := flag.Bool("static", false, "static persistency analysis as the bug source (no execution)")
 	marks := flag.String("marks", "full-aa", "pointer marks: full-aa | trace-aa")
 	intraOnly := flag.Bool("intra-only", false, "disable hoisting (intraprocedural fixes only)")
 	showFixes := flag.Bool("show-fixes", false, "print each applied fix")
@@ -93,21 +100,46 @@ func main() {
 	} else if *tracePath != "" {
 		usage("-crashcheck re-executes the program; it cannot be combined with -trace")
 	}
+	if *staticMode {
+		if *tracePath != "" {
+			usage("-static analyzes without a trace; it cannot be combined with -trace")
+		}
+		if *crashCheck {
+			usage("-crashcheck executes the program; it cannot be combined with -static")
+		}
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hippocrates [flags] program.pmc")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *entry, *out, *tracePath, *marks, *flushKind, *invariant, *recovery,
-		*intraOnly, *showFixes, *showScores, *showDiff, *crashCheck, *noDedup, limits, obsFlags); err != nil {
+	req := &cli.Request{
+		Mode:       cli.ModeRepair,
+		Entry:      *entry,
+		Static:     *staticMode,
+		Marks:      *marks,
+		IntraOnly:  *intraOnly,
+		Flush:      *flushKind,
+		CrashCheck: *crashCheck,
+		Invariant:  *invariant,
+		Recovery:   *recovery,
+		NoDedup:    *noDedup,
+		StepLimit:  limits.StepLimit,
+	}
+	if *showScores {
+		req.DebugScores = os.Stderr
+	}
+	if *crashCheck {
+		req.CrashLog = os.Stdout
+	}
+	if err := run(flag.Arg(0), *out, *tracePath, *showFixes, *showDiff, req, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hippocrates:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery string,
-	intraOnly, showFixes, showScores, showDiff, crashCheck, noDedup bool,
-	limits cli.LimitFlags, obsFlags cli.ObsFlags) error {
+func run(path, out, tracePath string, showFixes, showDiff bool,
+	req *cli.Request, obsFlags cli.ObsFlags) error {
 	// The recorder is always on: the default end-of-run summary needs the
 	// phase timings, and a CLI run only creates phase-level spans.
 	rec := obs.New()
@@ -115,10 +147,20 @@ func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery stri
 		rec.SetTrackAllocs(true)
 	}
 	root := rec.StartSpan("pipeline")
-	root.SetAttr("program", path)
-	root.SetAttr("entry", entry)
 
-	mod, err := cli.LoadModuleObs(path, root)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	req.Program = filepath.Base(path)
+	req.Source = string(src)
+	if tracePath != "" {
+		req.ReplayTrace, err = cli.LoadTrace(tracePath)
+		if err != nil {
+			return err
+		}
+	}
+	mod, err := cli.CompileRequest(req, root)
 	if err != nil {
 		return err
 	}
@@ -126,102 +168,60 @@ func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery stri
 	if showDiff {
 		before = ir.Print(mod)
 	}
-	opts := core.Options{DisableHoisting: intraOnly, Obs: root, StepLimit: limits.StepLimit}
-	if crashCheck {
-		opts.CrashCheck = &crashsim.Options{
-			Invariant: invariant, Recovery: recovery, NoDedup: noDedup, Log: os.Stdout,
-		}
-	}
-	switch flushKind {
-	case "clwb":
-		opts.FlushKind = ir.CLWB
-	case "clflushopt":
-		opts.FlushKind = ir.CLFLUSHOPT
-	case "clflush":
-		opts.FlushKind = ir.CLFLUSH
-	default:
-		return fmt.Errorf("unknown -flush %q", flushKind)
-	}
-	switch marks {
-	case "full-aa":
-		opts.Marks = core.FullAA
-	case "trace-aa":
-		opts.Marks = core.TraceAA
-	default:
-		return fmt.Errorf("unknown -marks %q", marks)
-	}
-	if showScores {
-		opts.DebugScores = os.Stderr
-	}
 
-	var res *core.PipelineResult
-	if tracePath != "" {
-		tr, err := cli.LoadTrace(tracePath)
-		if err != nil {
-			return err
-		}
-		check := pmcheck.CheckObs(root, tr)
-		res = &core.PipelineResult{Trace: tr, Before: check}
-		if check.Clean() {
-			res.After = check
-		} else {
-			fixRes, err := core.Repair(mod, tr, check, opts)
-			if err != nil {
-				return err
-			}
-			res.Fix = fixRes
-			rsp := root.Start("revalidate")
-			tr2, err := core.TraceModuleObs(rsp, mod, entry)
-			if err != nil {
-				rsp.End()
-				return err
-			}
-			res.After = pmcheck.CheckObs(rsp, tr2)
-			rsp.End()
-		}
-	} else {
-		res, err = core.RunAndRepair(mod, entry, opts)
-		if err != nil {
-			return err
-		}
+	resp, err := cli.RunModule(req, mod, root)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("hippocrates: %d bug(s) before repair (%d unique store sites)\n",
-		len(res.Before.Reports), res.Before.UniqueSites())
-	if res.Fix != nil {
+		resp.BugsBefore, resp.SitesBefore)
+	var fix *core.Result
+	switch {
+	case resp.Pipeline != nil:
+		fix = resp.Pipeline.Fix
+	case resp.StaticResult != nil:
+		fix = resp.StaticResult.Fix
+	}
+	if fix != nil {
 		fmt.Printf("hippocrates: applied %d fix(es): %d interprocedural, %d reduced away, %d persistent subprogram(s)\n",
-			len(res.Fix.Fixes), res.Fix.InterprocFixes(), res.Fix.ReducedFixes, res.Fix.ClonesCreated)
+			len(fix.Fixes), fix.InterprocFixes(), fix.ReducedFixes, fix.ClonesCreated)
 		fmt.Printf("hippocrates: module grew %d -> %d instructions (+%.3f%%) using %s marks\n",
-			res.Fix.InstrsBefore, res.Fix.InstrsAfter,
-			100*float64(res.Fix.InstrsAfter-res.Fix.InstrsBefore)/float64(res.Fix.InstrsBefore),
-			res.Fix.MarksName)
+			fix.InstrsBefore, fix.InstrsAfter,
+			100*float64(fix.InstrsAfter-fix.InstrsBefore)/float64(fix.InstrsBefore),
+			fix.MarksName)
 		if showFixes {
-			for i, fx := range res.Fix.Fixes {
-				fmt.Printf("  [%d] %s\n", i+1, fx)
+			for _, line := range resp.FixSummaryLines() {
+				fmt.Println(line)
 			}
 		}
 	}
-	if showDiff && res.Fix != nil {
+	if showDiff && fix != nil {
 		fmt.Println("hippocrates: repair diff:")
 		fmt.Print(cli.DiffLines(before, ir.Print(mod)))
 	}
-	for i, round := range res.CrashRounds {
-		status := "PASS"
-		if !round.Passed() {
-			status = fmt.Sprintf("%d point(s) still failing", len(round.Failures))
+	if resp.Pipeline != nil {
+		for i, round := range resp.Pipeline.CrashRounds {
+			status := "PASS"
+			if !round.Passed() {
+				status = fmt.Sprintf("%d point(s) still failing", len(round.Failures))
+			}
+			fmt.Printf("hippocrates: crashcheck after fix %d/%d: %s (%d schedule(s), %d deduped)\n",
+				i+1, len(resp.Pipeline.CrashRounds)+1, status, round.Schedules, round.DedupedSchedules)
 		}
-		fmt.Printf("hippocrates: crashcheck after fix %d/%d: %s (%d schedule(s), %d deduped)\n",
-			i+1, len(res.CrashRounds)+1, status, round.Schedules, round.DedupedSchedules)
-	}
-	if res.Crash != nil {
-		fmt.Print(res.Crash.Summary())
+		if resp.Pipeline.Crash != nil {
+			fmt.Print(resp.Pipeline.Crash.Summary())
+		}
 	}
 	repairErr := error(nil)
-	if res.Fixed() {
+	if resp.Fixed {
 		fmt.Println("hippocrates: repaired module is clean under the bug finder")
 	} else {
-		if !res.After.Clean() {
-			fmt.Print(res.After.Summary())
+		switch {
+		case resp.Pipeline != nil && !resp.Pipeline.After.Clean():
+			fmt.Print(resp.Pipeline.After.Summary())
+		case resp.StaticResult != nil && !resp.StaticResult.After.Clean():
+			fmt.Print(resp.StaticResult.After.Summary())
 		}
 		repairErr = fmt.Errorf("repair incomplete")
 	}
@@ -233,11 +233,7 @@ func run(path, entry, out, tracePath, marks, flushKind, invariant, recovery stri
 	}
 
 	root.End()
-	fixes := 0
-	if res.Fix != nil {
-		fixes = len(res.Fix.Fixes)
-	}
-	fmt.Printf("hippocrates: summary: %s | %d fix(es)\n", cli.PhaseSummary(rec), fixes)
+	fmt.Printf("hippocrates: summary: %s | %d fix(es)\n", cli.PhaseSummary(rec), len(resp.Fixes))
 	if err := obsFlags.Finish(rec, os.Stdout); err != nil {
 		return err
 	}

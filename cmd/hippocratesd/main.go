@@ -1,0 +1,356 @@
+// Command hippocratesd is the repair-as-a-service daemon: the Hippocrates
+// pipeline behind a long-lived HTTP/JSON API instead of a one-shot CLI.
+// Submit a pmc program with the same options the commands take (entry,
+// static vs dynamic detection, crashcheck, steplimit/timeout) and receive
+// the repaired source, the repair-provenance audit trail, and per-round
+// crash verdicts — deterministic JSON, byte-identical across equal
+// requests, which is what makes responses cacheable and diffable.
+//
+// Usage:
+//
+//	hippocratesd [flags]              serve until SIGTERM (graceful drain)
+//	hippocratesd -selftest            replay the corpus against an
+//	                                  in-process daemon, write BENCH_server.json
+//	hippocratesd -smoke               boot, round-trip one buggy corpus
+//	                                  program, schema-validate, exit
+//
+// Flags:
+//
+//	-addr HOST:PORT   listen address (default 127.0.0.1:8080)
+//	-workers N        worker pool size (default GOMAXPROCS, max 8)
+//	-queue N          per-worker queue depth (default 32)
+//	-retention N      finished jobs retrievable by ID (default 256)
+//	-timeout DUR      default per-job wall-clock budget (default 60s)
+//	-max-timeout DUR  ceiling on requested job timeouts (default 5m)
+//	-steplimit N      default instruction budget per interpreter run
+//	-concurrency N    -selftest client workers (default 8)
+//	-bench-out FILE   -selftest report path (default BENCH_server.json)
+//	-quiet            suppress the per-job log line
+//
+// API: POST /api/v1/repair (synchronous), POST /api/v1/jobs (async 202),
+// GET /api/v1/jobs/{id}, GET /api/v1/jobs/{id}/spans, GET /metrics,
+// GET /healthz. A full queue answers 429 + Retry-After; draining answers
+// 503.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hippocrates/internal/server"
+	"hippocrates/internal/server/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, max 8)")
+	queue := flag.Int("queue", 0, "per-worker queue depth (0 = 32)")
+	retention := flag.Int("retention", 0, "finished jobs retrievable by ID (0 = 256)")
+	timeout := flag.Duration("timeout", 0, "default per-job wall-clock budget (0 = 60s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on requested job timeouts (0 = 5m)")
+	stepLimit := flag.Int64("steplimit", 0, "default instruction budget per interpreter run (0 = 100M)")
+	selftest := flag.Bool("selftest", false, "replay the corpus against an in-process daemon and write the bench report")
+	smoke := flag.Bool("smoke", false, "boot, round-trip one corpus program, schema-validate, exit")
+	concurrency := flag.Int("concurrency", 8, "client workers for -selftest")
+	benchOut := flag.String("bench-out", "BENCH_server.json", "report path for -selftest")
+	quiet := flag.Bool("quiet", false, "suppress the per-job log line")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Retention:      *retention,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		StepLimit:      *stepLimit,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	var err error
+	switch {
+	case *selftest:
+		err = runSelftest(cfg, *concurrency, *benchOut)
+	case *smoke:
+		err = runSmoke(cfg)
+	default:
+		err = serve(cfg, *addr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hippocratesd:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the daemon until SIGTERM/SIGINT, then drains: accepted jobs
+// finish, new submissions get 503, and the listener closes last.
+func serve(cfg server.Config, addr string) error {
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "hippocratesd: serving on %s\n", addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "hippocratesd: %s: draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return httpSrv.Shutdown(ctx)
+}
+
+// boot starts an in-process daemon on an ephemeral port for the selftest
+// and smoke paths and returns its base URL plus a shutdown func.
+func boot(cfg server.Config) (*server.Server, string, func(), error) {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx)
+		httpSrv.Shutdown(ctx)
+	}
+	return srv, "http://" + ln.Addr().String(), stop, nil
+}
+
+// runSelftest is the load harness: cold + warm corpus replay against an
+// in-process daemon, report written to benchOut.
+func runSelftest(cfg server.Config, concurrency int, benchOut string) error {
+	_, base, stop, err := boot(cfg)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	rep, err := loadgen.WriteJSON(benchOut, loadgen.Options{
+		BaseURL:     base,
+		Concurrency: concurrency,
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hippocratesd: selftest: %d targets x2 rounds at concurrency %d\n",
+		rep.Targets, rep.Concurrency)
+	fmt.Printf("hippocratesd: cold: %.1f jobs/s (p50 %.1f ms, p99 %.1f ms)\n",
+		rep.Cold.Throughput, rep.Cold.P50MS, rep.Cold.P99MS)
+	fmt.Printf("hippocratesd: warm: %.1f jobs/s (p50 %.1f ms, p99 %.1f ms), %.1fx speedup, hit ratio %.2f\n",
+		rep.Warm.Throughput, rep.Warm.P50MS, rep.Warm.P99MS, rep.WarmSpeedup, rep.CacheHitRatio)
+	fmt.Printf("hippocratesd: wrote %s\n", benchOut)
+	if rep.Warm.CacheHits == 0 {
+		return fmt.Errorf("selftest: warm round hit the response cache 0 times")
+	}
+	if rep.WarmSpeedup <= 1 {
+		return fmt.Errorf("selftest: warm round was not faster than cold (%.2fx)", rep.WarmSpeedup)
+	}
+	return nil
+}
+
+// runSmoke boots the daemon, round-trips one buggy corpus program with
+// crash validation on, and schema-validates everything the API serves:
+// the repair response, the cache-hit replay (must be byte-identical), and
+// /metrics (must show a non-zero cache hit ratio). It is the engine
+// behind `make server-smoke`.
+func runSmoke(cfg server.Config) error {
+	srv, base, stop, err := boot(cfg)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	_ = srv
+
+	reqs := loadgen.CorpusRequests()
+	if len(reqs) == 0 {
+		return fmt.Errorf("smoke: no corpus requests")
+	}
+	// pclht is the smallest crashsim-able paper target; fall back to the
+	// first request if the corpus ever renames it.
+	req := reqs[0]
+	for _, r := range reqs {
+		if r.Program == "pclht.pmc" {
+			req = r
+			break
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	first, hdr1, err := postOnce(client, base, body)
+	if err != nil {
+		return err
+	}
+	if hdr1.Get("X-Hippocrates-Cache") != "miss" {
+		return fmt.Errorf("smoke: first submit was not a cache miss (%q)", hdr1.Get("X-Hippocrates-Cache"))
+	}
+	if err := server.ValidateResponse(first); err != nil {
+		return fmt.Errorf("smoke: response does not match schema/response.schema.json: %w", err)
+	}
+	var doc struct {
+		Fixed      bool   `json:"fixed"`
+		BugsBefore int    `json:"bugs_before"`
+		RepairedIR string `json:"repaired_ir"`
+		Audit      []any  `json:"audit"`
+		Crash      *struct {
+			Passed    bool `json:"passed"`
+			Schedules int  `json:"schedules"`
+		} `json:"crash"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		return err
+	}
+	switch {
+	case doc.BugsBefore == 0:
+		return fmt.Errorf("smoke: %s reported no bugs before repair", req.Program)
+	case !doc.Fixed:
+		return fmt.Errorf("smoke: %s was not fully repaired", req.Program)
+	case doc.RepairedIR == "":
+		return fmt.Errorf("smoke: response carries no repaired IR")
+	case len(doc.Audit) == 0:
+		return fmt.Errorf("smoke: response carries no audit trail")
+	case doc.Crash == nil || !doc.Crash.Passed || doc.Crash.Schedules == 0:
+		return fmt.Errorf("smoke: crash validation missing or failing")
+	}
+	fmt.Printf("hippocratesd: smoke: %s repaired (%d bug(s), %d audit entries, %d crash schedule(s) pass)\n",
+		req.Program, doc.BugsBefore, len(doc.Audit), doc.Crash.Schedules)
+
+	second, hdr2, err := postOnce(client, base, body)
+	if err != nil {
+		return err
+	}
+	if hdr2.Get("X-Hippocrates-Cache") != "hit" {
+		return fmt.Errorf("smoke: identical resubmit was not a cache hit (%q)", hdr2.Get("X-Hippocrates-Cache"))
+	}
+	if string(first) != string(second) {
+		return fmt.Errorf("smoke: cached response differs from the original (%d vs %d bytes)", len(first), len(second))
+	}
+	fmt.Println("hippocratesd: smoke: identical resubmit served byte-identically from the response cache")
+
+	// The job's span tree must be retrievable by ID.
+	jobID := hdr1.Get("X-Hippocrates-Job")
+	spansResp, err := client.Get(base + "/api/v1/jobs/" + jobID + "/spans")
+	if err != nil {
+		return err
+	}
+	spans, err := io.ReadAll(spansResp.Body)
+	spansResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if spansResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: GET spans for %s: HTTP %d", jobID, spansResp.StatusCode)
+	}
+	var spansDoc struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(spans, &spansDoc); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, sp := range spansDoc.Spans {
+		seen[sp.Name] = true
+	}
+	for _, phase := range []string{"job", "trace", "detect", "plan", "apply", "revalidate", "crashsim"} {
+		if !seen[phase] {
+			return fmt.Errorf("smoke: job span tree is missing phase %q", phase)
+		}
+	}
+	fmt.Printf("hippocratesd: smoke: span tree for %s covers the full pipeline\n", jobID)
+
+	metricsResp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := server.ValidateMetrics(metrics); err != nil {
+		return fmt.Errorf("smoke: /metrics does not match schema/metrics.schema.json: %w", err)
+	}
+	var m struct {
+		Cache struct {
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"cache"`
+		Jobs struct {
+			Completed int64 `json:"completed"`
+			Failed    int64 `json:"failed"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(metrics, &m); err != nil {
+		return err
+	}
+	if m.Cache.HitRatio <= 0 {
+		return fmt.Errorf("smoke: /metrics cache hit ratio is %v, want > 0", m.Cache.HitRatio)
+	}
+	if m.Jobs.Failed != 0 {
+		return fmt.Errorf("smoke: /metrics reports %d failed job(s)", m.Jobs.Failed)
+	}
+	fmt.Printf("hippocratesd: smoke: /metrics valid (hit ratio %.2f, %d job(s) completed)\n",
+		m.Cache.HitRatio, m.Jobs.Completed)
+	fmt.Println("hippocratesd: smoke: OK")
+	return nil
+}
+
+// postOnce submits one synchronous repair and returns body + headers.
+func postOnce(client *http.Client, base string, body []byte) ([]byte, http.Header, error) {
+	resp, err := client.Post(base+"/api/v1/repair", "application/json",
+		bytesReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("POST /api/v1/repair: HTTP %d: %s", resp.StatusCode, data)
+	}
+	return data, resp.Header, nil
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -30,6 +30,9 @@
 // so the exported spans and audit trail cover the full
 // parse→trace→detect→plan→apply→revalidate tree, not just detection.
 //
+// Detection runs through cli.Run, the same entrypoint hippocrates and
+// hippocratesd use, so the front ends cannot drift.
+//
 // Exit status is 1 when durability bugs are found.
 package main
 
@@ -37,13 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"hippocrates/internal/cli"
 	"hippocrates/internal/core"
-	"hippocrates/internal/ir"
 	"hippocrates/internal/pmcheck"
-	"hippocrates/internal/static"
-	"hippocrates/internal/trace"
 )
 
 func main() {
@@ -102,30 +103,19 @@ func main() {
 		}
 	}
 
-	if *staticMode {
-		if *replay != "" || *saveTrace != "" || flag.NArg() != 1 {
-			usage("usage: pmcheck -static [-entry NAME] program.pmc")
-		}
-		m, err := cli.LoadModuleObs(flag.Arg(0), root)
+	// -replay is the one path with no program behind it: analyze the
+	// trace directly, there is nothing for cli.Run to compile or repair.
+	if *replay != "" {
+		tr, err := cli.LoadTrace(*replay)
 		if err != nil {
 			fail(err)
 		}
-		root.SetAttr("program", flag.Arg(0))
-		var res *static.Result
-		if obsFlags.Enabled() {
-			// Shadow repair (in memory, never written) so the spans and
-			// audit trail cover plan→apply→revalidate too.
-			out, rerr := core.StaticRepair(m, *entry, core.Options{Obs: root})
-			if rerr != nil {
-				fail(rerr)
-			}
-			res = out.Before
-		} else {
-			res, err = static.Analyze(m, *entry)
-			if err != nil {
+		if *saveTrace != "" {
+			if err := cli.WriteTrace(tr, *saveTrace); err != nil {
 				fail(err)
 			}
 		}
+		res := pmcheck.CheckObs(root, tr)
 		fmt.Print(res.Summary())
 		finish()
 		if !res.Clean() {
@@ -134,45 +124,69 @@ func main() {
 		return
 	}
 
-	var tr *trace.Trace
-	var mod *ir.Module
-	var err error
-	switch {
-	case *replay != "":
-		tr, err = cli.LoadTrace(*replay)
-	case flag.NArg() == 1:
-		mod, err = cli.LoadModuleObs(flag.Arg(0), root)
-		if err != nil {
-			break
+	if flag.NArg() != 1 {
+		if *staticMode {
+			usage("usage: pmcheck -static [-entry NAME] program.pmc")
 		}
-		root.SetAttr("program", flag.Arg(0))
-		tr, err = core.TraceModuleOpts(root, mod, *entry, core.Options{StepLimit: limits.StepLimit})
-	default:
 		fmt.Fprintln(os.Stderr, "usage: pmcheck [flags] program.pmc | pmcheck -replay trace.pmtrace")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *staticMode && *saveTrace != "" {
+		usage("usage: pmcheck -static [-entry NAME] program.pmc")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	if *saveTrace != "" {
-		if err := cli.WriteTrace(tr, *saveTrace); err != nil {
+	req := &cli.Request{
+		Program:   filepath.Base(flag.Arg(0)),
+		Source:    string(src),
+		Mode:      cli.ModeCheck,
+		Entry:     *entry,
+		Static:    *staticMode,
+		StepLimit: limits.StepLimit,
+	}
+	// With observability on, detection alone would leave the exported
+	// spans and audit trail covering half the pipeline; run the full
+	// repair instead (in memory, never written) and report its Before.
+	// For static mode the repair path is exact, so it substitutes
+	// directly; the dynamic shadow repair below tolerates failure.
+	if *staticMode && obsFlags.Enabled() {
+		req.Mode = cli.ModeRepair
+	}
+	resp, err := cli.Run(req, root)
+	if err != nil {
+		fail(err)
+	}
+	if *saveTrace != "" && resp.Trace != nil {
+		if err := cli.WriteTrace(resp.Trace, *saveTrace); err != nil {
 			fail(err)
 		}
 	}
-	res := pmcheck.CheckObs(root, tr)
-	fmt.Print(res.Summary())
+	var clean bool
+	switch {
+	case resp.StaticCheck != nil:
+		fmt.Print(resp.StaticCheck.Summary())
+		clean = resp.StaticCheck.Clean()
+	case resp.StaticResult != nil:
+		fmt.Print(resp.StaticResult.Before.Summary())
+		clean = resp.StaticResult.Before.Clean()
+	default:
+		fmt.Print(resp.Check.Summary())
+		clean = resp.Check.Clean()
+	}
 
 	// Shadow repair: with observability on, finish the pipeline in memory
 	// (the module is never written) so spans and the audit trail cover
 	// plan→apply→revalidate. Failures here are reported but do not change
 	// the detection exit status.
-	if obsFlags.Enabled() && !res.Clean() && mod != nil {
-		if _, rerr := core.Repair(mod, tr, res, core.Options{Obs: root}); rerr != nil {
+	if obsFlags.Enabled() && !clean && resp.Check != nil {
+		if _, rerr := core.Repair(resp.Module, resp.Trace, resp.Check, core.Options{Obs: root}); rerr != nil {
 			fmt.Fprintln(os.Stderr, "pmcheck: shadow repair:", rerr)
 		} else {
 			rsp := root.Start("revalidate")
-			if tr2, terr := core.TraceModuleOpts(rsp, mod, *entry, core.Options{StepLimit: limits.StepLimit}); terr != nil {
+			if tr2, terr := core.TraceModuleOpts(rsp, resp.Module, *entry, core.Options{StepLimit: limits.StepLimit}); terr != nil {
 				fmt.Fprintln(os.Stderr, "pmcheck: shadow revalidation:", terr)
 			} else {
 				pmcheck.CheckObs(rsp, tr2)
@@ -181,7 +195,7 @@ func main() {
 		}
 	}
 	finish()
-	if !res.Clean() {
+	if !clean {
 		os.Exit(1)
 	}
 }

@@ -28,16 +28,19 @@
 //	-spans FILE      write the span tree as Chrome trace_event JSON
 //	-audit           print the repair audit trail (always empty here: pmvm
 //	                 executes, it never repairs)
+//
+// The -crash path runs through cli.Run, the same entrypoint hippocrates
+// and hippocratesd use.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"hippocrates/internal/cli"
-	"hippocrates/internal/crashsim"
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/trace"
@@ -107,14 +110,6 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 	root := rec.StartSpan("pmvm")
 	root.SetAttr("program", path)
 
-	mod, err := cli.LoadModuleObs(path, root)
-	if err != nil {
-		return err
-	}
-	if printIR {
-		fmt.Print(ir.Print(mod))
-		return nil
-	}
 	args := make([]uint64, len(argStrs))
 	for i, s := range argStrs {
 		v, err := strconv.ParseInt(s, 0, 64)
@@ -123,27 +118,52 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 		}
 		args[i] = uint64(v)
 	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	req := &cli.Request{
+		Program:     filepath.Base(path),
+		Source:      string(src),
+		Mode:        cli.ModeCrash,
+		Entry:       entry,
+		Args:        args,
+		Invariant:   invariant,
+		Recovery:    recovery,
+		CrashPoints: crashPoints,
+		CrashImages: crashImages,
+		NoDedup:     noDedup,
+		StepLimit:   limits.StepLimit,
+		CrashLog:    os.Stdout,
+	}
+	if !crash {
+		// Compile-only request shape: the plain run below executes the
+		// module itself (stdout, violations, simulated time).
+		req.Mode = cli.ModeCheck
+	}
 
 	if crash {
-		rep, err := crashsim.Validate(mod, crashsim.Options{
-			Entry: entry, Args: args,
-			Invariant: invariant, Recovery: recovery,
-			MaxPoints: crashPoints, MaxImages: crashImages,
-			NoDedup:   noDedup,
-			StepLimit: limits.StepLimit,
-			Obs:       root, Log: os.Stdout,
-		})
+		resp, err := cli.Run(req, root)
 		if err != nil {
 			return err
 		}
-		fmt.Print(rep.Summary())
+		fmt.Print(resp.CrashReport.Summary())
 		root.End()
 		if err := obsFlags.Finish(rec, os.Stdout); err != nil {
 			return err
 		}
-		if !rep.Passed() {
-			return fmt.Errorf("%d crash point(s) failed recovery", len(rep.Failures))
+		if !resp.Fixed {
+			return fmt.Errorf("%d crash point(s) failed recovery", len(resp.CrashReport.Failures))
 		}
+		return nil
+	}
+
+	mod, err := cli.CompileRequest(req, root)
+	if err != nil {
+		return err
+	}
+	if printIR {
+		fmt.Print(ir.Print(mod))
 		return nil
 	}
 

@@ -1,0 +1,187 @@
+package cli_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/obs"
+)
+
+// The golden files pin the wire encodings the daemon's response cache and
+// clients depend on: the Response document as a whole, and inside it the
+// repair-provenance audit trail and the crash-verdict report. A change to
+// any of these shapes must be deliberate — regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/cli/ -run TestGolden
+//
+// and review the diff like an API change (schema/response.schema.json in
+// internal/server usually moves in the same commit).
+
+// goldenPublish has one unflushed store published by a flushed flag; its
+// repair is a single inserted flush, so the audit trail, fix list, and
+// crash report all stay small enough to eyeball in the golden file.
+const goldenPublish = `
+pm int payload;
+pm int flag;
+
+int invariant_check() {
+	if (payload != 0 && payload != 42) { return 1; }
+	if (flag != 0 && flag != 1) { return 2; }
+	return 0;
+}
+
+int crash_check(int completed) {
+	if (completed >= 1) {
+		if (payload != 42) { return 1; }
+		if (flag != 1) { return 2; }
+	}
+	return 0;
+}
+
+int main() {
+	payload = 42; // missing flush
+	flag = 1;
+	clwb(&flag);
+	sfence();
+	pm_checkpoint();
+	return 0;
+}
+`
+
+func runGolden(t *testing.T, req *cli.Request) []byte {
+	t.Helper()
+	rec := obs.New()
+	root := rec.StartSpan("pipeline")
+	resp, err := cli.Run(req, root)
+	root.End()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := resp.EncodeJSON()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return data
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// when UPDATE_GOLDEN is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden encoding (UPDATE_GOLDEN=1 to accept):\n%s",
+			name, firstDiff(got, want))
+	}
+}
+
+// firstDiff renders the first divergent region of two encodings.
+func firstDiff(got, want []byte) string {
+	i := 0
+	for i < len(got) && i < len(want) && got[i] == want[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	clip := func(b []byte) string {
+		hi := i + 80
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return string(b[lo:hi])
+	}
+	return fmt.Sprintf("first divergence at byte %d\n got: …%s…\nwant: …%s…", i, clip(got), clip(want))
+}
+
+// TestGoldenRepairCrashResponse pins the full repair response: fixes,
+// audit trail, repaired IR, and the crash-verdict documents (final +
+// per-round). CrashWorkers=1 and a private verdict cache make every field
+// — including the stats accounting — reproducible.
+func TestGoldenRepairCrashResponse(t *testing.T) {
+	req := &cli.Request{
+		Program:      "publish.pmc",
+		Source:       goldenPublish,
+		Mode:         cli.ModeRepair,
+		CrashCheck:   true,
+		CrashPoints:  16,
+		CrashImages:  4,
+		StepLimit:    10_000_000,
+		CrashWorkers: 1,
+	}
+	checkGolden(t, "repair_crash_publish.golden.json", runGolden(t, req))
+}
+
+// TestGoldenStaticRepairResponse pins the static path: same program, no
+// execution, audit trail from the static planner.
+func TestGoldenStaticRepairResponse(t *testing.T) {
+	req := &cli.Request{
+		Program: "publish.pmc",
+		Source:  goldenPublish,
+		Mode:    cli.ModeRepair,
+		Static:  true,
+	}
+	checkGolden(t, "repair_static_publish.golden.json", runGolden(t, req))
+}
+
+// TestGoldenCrashVerdictResponse pins crash mode on the unrepaired
+// program: the failure documents (event, kind, cuts, entry, ret) are the
+// crash-verdict wire format.
+func TestGoldenCrashVerdictResponse(t *testing.T) {
+	req := &cli.Request{
+		Program:      "publish.pmc",
+		Source:       goldenPublish,
+		Mode:         cli.ModeCrash,
+		CrashPoints:  16,
+		CrashImages:  4,
+		StepLimit:    10_000_000,
+		CrashWorkers: 1,
+	}
+	checkGolden(t, "crash_publish.golden.json", runGolden(t, req))
+}
+
+// TestGoldenStableAcrossRuns re-runs the pinned repair request and
+// demands byte equality with itself — determinism independent of the
+// checked-in file, so a golden regeneration can't silently bless a
+// nondeterministic encoding.
+func TestGoldenStableAcrossRuns(t *testing.T) {
+	mk := func() *cli.Request {
+		return &cli.Request{
+			Program:      "publish.pmc",
+			Source:       goldenPublish,
+			Mode:         cli.ModeRepair,
+			CrashCheck:   true,
+			CrashPoints:  16,
+			CrashImages:  4,
+			StepLimit:    10_000_000,
+			CrashWorkers: 1,
+		}
+	}
+	a := runGolden(t, mk())
+	b := runGolden(t, mk())
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical requests produced different encodings:\n%s", firstDiff(a, b))
+	}
+	if mk().Key() != mk().Key() {
+		t.Error("request key is not stable")
+	}
+}

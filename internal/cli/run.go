@@ -1,0 +1,336 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/crashsim"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/lang"
+	"hippocrates/internal/obs"
+	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/static"
+	"hippocrates/internal/trace"
+)
+
+// FixDoc is one applied fix in API form.
+type FixDoc struct {
+	Kind        string   `json:"kind"`
+	ReportSite  string   `json:"report_site"`
+	ReportClass string   `json:"report_class"`
+	AppliedAt   string   `json:"applied_at"`
+	HoistDepth  int      `json:"hoist_depth,omitempty"`
+	Score       int      `json:"score,omitempty"`
+	Clones      []string `json:"clones,omitempty"`
+}
+
+// Response is the outcome of one Run, shared between the commands and
+// the hippocratesd API. The exported, json-tagged fields are the wire
+// contract: every one is a deterministic function of the Request (no
+// wall times, no absolute addresses beyond the interpreter's own
+// deterministic layout), struct fields marshal in declaration order, and
+// slices are ordered by the pipeline's deterministic phases — so equal
+// requests marshal to byte-identical JSON, pinned by the golden-file
+// tests in this package. Fields tagged json:"-" carry the live artifacts
+// in-process callers (the commands' printing paths) still need.
+type Response struct {
+	Mode    string `json:"mode"`
+	Program string `json:"program"`
+	Entry   string `json:"entry"`
+	Static  bool   `json:"static,omitempty"`
+
+	// Detection outcome. BugsBefore/SitesBefore describe the program as
+	// submitted; Reports carries the detector's per-bug rendering.
+	// BugsAfter is meaningful in repair mode (post-repair re-check).
+	BugsBefore  int      `json:"bugs_before"`
+	SitesBefore int      `json:"sites_before"`
+	BugsAfter   int      `json:"bugs_after"`
+	Reports     []string `json:"reports"`
+
+	// Fixed is the mode's headline verdict: repair — the repaired module
+	// is clean (and crash-validated, when requested); check — the
+	// program was already clean; crash — every schedule recovered.
+	Fixed bool `json:"fixed"`
+
+	// Repair outcome (repair mode with bugs found).
+	Fixes        []FixDoc `json:"fixes,omitempty"`
+	InstrsBefore int      `json:"instrs_before,omitempty"`
+	InstrsAfter  int      `json:"instrs_after,omitempty"`
+	Clones       int      `json:"clones,omitempty"`
+	Reduced      int      `json:"reduced,omitempty"`
+	Marks        string   `json:"marks,omitempty"`
+	// RepairedIR is the repaired module in textual IR form.
+	RepairedIR string `json:"repaired_ir,omitempty"`
+	// Audit is the repair-provenance trail: every insertion (or
+	// deliberate non-insertion) mapped to its report and heuristic
+	// decision.
+	Audit []*obs.AuditEntry `json:"audit"`
+
+	// Crash validation outcome: the final report, plus the per-round
+	// reports of incremental revalidation (round i ran right after fix
+	// i+1 landed; intermediate rounds legitimately fail).
+	Crash       *crashsim.ReportDoc   `json:"crash,omitempty"`
+	CrashRounds []*crashsim.ReportDoc `json:"crash_rounds,omitempty"`
+
+	// Live artifacts for in-process callers; never serialized.
+
+	// Module is the (possibly repaired) module.
+	Module *ir.Module `json:"-"`
+	// Pipeline / StaticResult is the raw pipeline outcome of repair mode
+	// (exactly one is set, by Static).
+	Pipeline     *core.PipelineResult       `json:"-"`
+	StaticResult *core.StaticPipelineResult `json:"-"`
+	// Trace / Check / StaticCheck are check mode's raw outcomes.
+	Trace       *trace.Trace    `json:"-"`
+	Check       *pmcheck.Result `json:"-"`
+	StaticCheck *static.Result  `json:"-"`
+	// CrashReport is crash mode's raw report.
+	CrashReport *crashsim.Report `json:"-"`
+}
+
+// EncodeJSON renders the response's wire form: indented, deterministic,
+// newline-terminated.
+func (r *Response) EncodeJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Run validates the request, compiles its source, and executes the
+// requested pipeline, recording phase spans (and the audit trail) under
+// root. It is the single entrypoint behind hippocrates, pmcheck,
+// pmvm -crash, and the hippocratesd job runner.
+func Run(q *Request, root *obs.Span) (*Response, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	mod, err := CompileRequest(q, root)
+	if err != nil {
+		return nil, err
+	}
+	return RunModule(q, mod, root)
+}
+
+// CompileRequest builds the request's module: pmc source is compiled,
+// ".pmir" programs are parsed as textual IR. Front-end telemetry lands
+// under root.
+func CompileRequest(q *Request, root *obs.Span) (*ir.Module, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.IsIR() {
+		psp := root.Start("parse-ir")
+		defer psp.End()
+		m, err := ir.ParseModule(q.Source)
+		if m != nil {
+			psp.Add("ir.instrs", int64(m.NumInstrs()))
+		}
+		return m, err
+	}
+	return lang.CompileObs(q.Program, q.Source, root)
+}
+
+// RunModule is Run for a pre-compiled module (the daemon's artifact
+// cache hands each job a private clone of a memoized compile). The
+// module is mutated in place by repair mode.
+func RunModule(q *Request, mod *ir.Module, root *obs.Span) (*Response, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	root.SetAttr("program", q.Program)
+	root.SetAttr("mode", q.Mode)
+	root.SetAttr("entry", q.Entry)
+	resp := &Response{
+		Mode: q.Mode, Program: q.Program, Entry: q.Entry, Static: q.Static,
+		Reports: []string{}, Audit: []*obs.AuditEntry{}, Module: mod,
+	}
+	opts := q.coreOptions()
+	opts.Obs = root
+	if q.TimeoutMS > 0 {
+		opts.Deadline = time.Now().Add(time.Duration(q.TimeoutMS) * time.Millisecond)
+	}
+
+	var err error
+	switch q.Mode {
+	case ModeRepair:
+		if q.Static {
+			err = runStaticRepair(q, mod, opts, resp)
+		} else {
+			err = runRepair(q, mod, opts, resp)
+		}
+	case ModeCheck:
+		if q.Static {
+			err = runStaticCheck(q, mod, root, resp)
+		} else {
+			err = runCheck(q, mod, root, opts, resp)
+		}
+	case ModeCrash:
+		err = runCrash(q, mod, opts, resp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.Audit = append(resp.Audit, root.Recorder().AuditTrail()...)
+	return resp, nil
+}
+
+func runRepair(q *Request, mod *ir.Module, opts core.Options, resp *Response) error {
+	var res *core.PipelineResult
+	var err error
+	if q.ReplayTrace != nil {
+		res, err = repairFromTrace(q, mod, opts)
+	} else {
+		res, err = core.RunAndRepair(mod, q.Entry, opts, q.Args...)
+	}
+	if err != nil {
+		return err
+	}
+	resp.Pipeline = res
+	resp.BugsBefore = len(res.Before.Reports)
+	resp.SitesBefore = res.Before.UniqueSites()
+	resp.BugsAfter = len(res.After.Reports)
+	for _, r := range res.Before.Reports {
+		resp.Reports = append(resp.Reports, r.String())
+	}
+	resp.Fixed = res.Fixed()
+	if res.Fix != nil {
+		fillFixResult(resp, res.Fix)
+		resp.RepairedIR = ir.Print(mod)
+	}
+	resp.Crash = res.Crash.Doc()
+	for _, round := range res.CrashRounds {
+		resp.CrashRounds = append(resp.CrashRounds, round.Doc())
+	}
+	return nil
+}
+
+// repairFromTrace is the -trace replay variant of the repair pipeline:
+// detect against the pre-recorded trace, repair, re-trace to revalidate.
+func repairFromTrace(q *Request, mod *ir.Module, opts core.Options) (*core.PipelineResult, error) {
+	root := opts.Obs
+	check := pmcheck.CheckObs(root, q.ReplayTrace)
+	res := &core.PipelineResult{Trace: q.ReplayTrace, Before: check}
+	if check.Clean() {
+		res.After = check
+		return res, nil
+	}
+	fixRes, err := core.Repair(mod, q.ReplayTrace, check, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Fix = fixRes
+	rsp := root.Start("revalidate")
+	defer rsp.End()
+	tr2, err := core.TraceModuleOpts(rsp, mod, q.Entry, opts, q.Args...)
+	if err != nil {
+		return nil, err
+	}
+	res.After = pmcheck.CheckObs(rsp, tr2)
+	return res, nil
+}
+
+func runStaticRepair(q *Request, mod *ir.Module, opts core.Options, resp *Response) error {
+	res, err := core.StaticRepair(mod, q.Entry, opts)
+	if err != nil {
+		return err
+	}
+	resp.StaticResult = res
+	resp.BugsBefore = len(res.Before.Reports)
+	resp.SitesBefore = res.Before.UniqueSites()
+	resp.BugsAfter = len(res.After.Reports)
+	for _, r := range res.Before.Reports {
+		resp.Reports = append(resp.Reports, r.String())
+	}
+	resp.Fixed = res.After.Clean()
+	if res.Fix != nil {
+		fillFixResult(resp, res.Fix)
+		resp.RepairedIR = ir.Print(mod)
+	}
+	return nil
+}
+
+func runCheck(q *Request, mod *ir.Module, root *obs.Span, opts core.Options, resp *Response) error {
+	tr, err := core.TraceModuleOpts(root, mod, q.Entry, opts, q.Args...)
+	if err != nil {
+		return err
+	}
+	res := pmcheck.CheckObs(root, tr)
+	resp.Trace = tr
+	resp.Check = res
+	resp.BugsBefore = len(res.Reports)
+	resp.SitesBefore = res.UniqueSites()
+	for _, r := range res.Reports {
+		resp.Reports = append(resp.Reports, r.String())
+	}
+	resp.Fixed = res.Clean()
+	return nil
+}
+
+func runStaticCheck(q *Request, mod *ir.Module, root *obs.Span, resp *Response) error {
+	res, err := static.AnalyzeObs(mod, q.Entry, root)
+	if err != nil {
+		return err
+	}
+	resp.StaticCheck = res
+	resp.BugsBefore = len(res.Reports)
+	resp.SitesBefore = res.UniqueSites()
+	for _, r := range res.Reports {
+		resp.Reports = append(resp.Reports, r.String())
+	}
+	resp.Fixed = res.Clean()
+	return nil
+}
+
+func runCrash(q *Request, mod *ir.Module, opts core.Options, resp *Response) error {
+	copts := *opts.CrashCheck
+	copts.Obs = opts.Obs
+	copts.Deadline = opts.Deadline
+	rep, err := crashsim.Validate(mod, copts)
+	if err != nil {
+		return err
+	}
+	resp.CrashReport = rep
+	resp.Crash = rep.Doc()
+	resp.Fixed = rep.Passed()
+	return nil
+}
+
+// fillFixResult publishes a fixer result into the response.
+func fillFixResult(resp *Response, fix *core.Result) {
+	resp.InstrsBefore = fix.InstrsBefore
+	resp.InstrsAfter = fix.InstrsAfter
+	resp.Clones = fix.ClonesCreated
+	resp.Reduced = fix.ReducedFixes
+	resp.Marks = fix.MarksName
+	for _, f := range fix.Fixes {
+		resp.Fixes = append(resp.Fixes, FixDoc{
+			Kind:        f.Kind.String(),
+			ReportSite:  f.Report.Store.Site().String(),
+			ReportClass: f.Report.Class().String(),
+			AppliedAt:   f.AppliedAt.String(),
+			HoistDepth:  f.HoistDepth,
+			Score:       f.Score,
+			Clones:      f.Clones,
+		})
+	}
+}
+
+// FixSummaryLines renders the -show-fixes listing.
+func (r *Response) FixSummaryLines() []string {
+	var out []string
+	var fixes []*core.Fix
+	switch {
+	case r.Pipeline != nil && r.Pipeline.Fix != nil:
+		fixes = r.Pipeline.Fix.Fixes
+	case r.StaticResult != nil && r.StaticResult.Fix != nil:
+		fixes = r.StaticResult.Fix.Fixes
+	}
+	for i, fx := range fixes {
+		out = append(out, fmt.Sprintf("  [%d] %s", i+1, fx))
+	}
+	return out
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 
+	"hippocrates/internal/crashsim"
+	"hippocrates/internal/lang"
 	"hippocrates/internal/obs"
 )
 
@@ -47,13 +49,94 @@ func TestParallelRunAndRepairSpanIsolation(t *testing.T) {
 	if t.Failed() {
 		return
 	}
+	verifySpanIsolation(t, rec, roots,
+		[]string{"trace", "detect", "alias-analyze", "plan", "apply", "revalidate"})
+}
 
+// TestParallelCrashCheckSpanIsolation is the same property with the crash
+// validation stage on: two-plus pipelines share one recorder, each runs
+// repair AND crashsim (whose probe/capture workers record schedule
+// counters and "crashsim" child spans concurrently), and still no span
+// may leak into another pipeline's tree. This is the sharing shape
+// hippocratesd relies on for its aggregate recorder, proven under -race
+// by make verify.
+func TestParallelCrashCheckSpanIsolation(t *testing.T) {
+	const workers = 8
+	rec := obs.New()
+	roots := make([]*obs.Span, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := lang.MustCompile("publish.pmc", `
+pm int payload;
+pm int flag;
+
+int invariant_check() {
+	if (payload != 0 && payload != 42) { return 1; }
+	if (flag != 0 && flag != 1) { return 2; }
+	return 0;
+}
+
+int crash_check(int completed) {
+	if (completed >= 1) {
+		if (payload != 42) { return 1; }
+		if (flag != 1) { return 2; }
+	}
+	return 0;
+}
+
+int main() {
+	payload = 42; // missing flush
+	flag = 1;
+	clwb(&flag);
+	sfence();
+	pm_checkpoint();
+	return 0;
+}
+`)
+			root := rec.StartSpan(fmt.Sprintf("pipeline-%d", i))
+			roots[i] = root
+			res, err := RunAndRepair(m, "main", Options{
+				Obs: root,
+				CrashCheck: &crashsim.Options{
+					MaxPoints: 12,
+					MaxImages: 3,
+				},
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			if !res.Fixed() {
+				t.Errorf("worker %d: repair incomplete", i)
+			}
+			if res.Crash == nil || !res.Crash.Passed() {
+				t.Errorf("worker %d: crash validation failed", i)
+			}
+			root.End()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	verifySpanIsolation(t, rec, roots,
+		[]string{"trace", "detect", "plan", "apply", "revalidate", "crashsim"})
+}
+
+// verifySpanIsolation checks that every span recorded under rec sits in
+// exactly one worker root's subtree, that the identical workloads yielded
+// identical subtrees, and that each subtree carries the expected phases.
+func verifySpanIsolation(t *testing.T, rec *obs.Recorder, roots []*obs.Span, phases []string) {
+	t.Helper()
 	spans := rec.Spans()
 	byID := make(map[int]*obs.Span, len(spans))
 	for _, s := range spans {
 		byID[s.ID] = s
 	}
-	rootSet := make(map[int]bool, workers)
+	rootSet := make(map[int]bool, len(roots))
 	for _, r := range roots {
 		rootSet[r.ID] = true
 	}
@@ -90,7 +173,7 @@ func TestParallelRunAndRepairSpanIsolation(t *testing.T) {
 		got := strings.Join(names, ",")
 		if want == "" {
 			want = got
-			for _, phase := range []string{"trace", "detect", "alias-analyze", "plan", "apply", "revalidate"} {
+			for _, phase := range phases {
 				if !strings.Contains(","+got+",", ","+phase+",") {
 					t.Errorf("subtree missing phase %q: %s", phase, got)
 				}

@@ -37,6 +37,7 @@ type VerdictCache struct {
 	m      map[verdictKey]cachedVerdict
 	hits   int64
 	misses int64
+	gen    int64
 }
 
 // NewVerdictCache returns an empty cache.
@@ -81,4 +82,16 @@ func (c *VerdictCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[verdictKey]cachedVerdict)
+	c.gen++
+}
+
+// Generation counts how many times the cache has been Reset. A holder
+// sharing the cache across jobs (the hippocratesd artifact cache) snapshots
+// the generation before handing it out and discards its reference if a job
+// bumped it mid-flight: a reset means some repair touched recovery-reachable
+// code, so the shared entries no longer describe the cached module.
+func (c *VerdictCache) Generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }

@@ -11,32 +11,36 @@ import (
 // subprogram the fixer produced back to the detector report and the
 // heuristic decision that caused it — the provenance the "do no harm"
 // promise is audited against.
+// The JSON encoding is part of the API contract hippocratesd serves:
+// struct fields marshal in declaration order and the trail is an ordered
+// slice, so the encoding is deterministic and pinned by the golden-file
+// tests in internal/cli.
 type AuditEntry struct {
 	// Seq is assigned by the recorder in recording order.
-	Seq int
+	Seq int `json:"seq"`
 	// Action is one of: insert-flush, insert-flush-range, insert-fence,
 	// elide-flush, elide-fence, merge-flush, clone-subprogram,
 	// reuse-subprogram, retarget-call.
-	Action string
+	Action string `json:"action"`
 	// Site is the exact insertion (or reuse) site as
 	// file:func:block:index — index is the instruction's position within
 	// its basic block at the time of the action.
-	Site string
+	Site string `json:"site"`
 	// Mechanism names what was placed: the flush flavour (clwb, ...),
 	// the fence kind (sfence), or the clone's function name.
-	Mechanism string
+	Mechanism string `json:"mechanism,omitempty"`
 	// ReportSite and ReportClass identify the originating detector
 	// report (store site and bug class).
-	ReportSite  string
-	ReportClass string
+	ReportSite  string `json:"report_site,omitempty"`
+	ReportClass string `json:"report_class,omitempty"`
 	// Decision is the planner's placement choice: "intraprocedural",
 	// "hoisted N level(s)", or "fence-only"; Why is the heuristic's
 	// reasoning in prose; Score is the chosen candidate's §4.3 score.
-	Decision string
-	Why      string
-	Score    int
+	Decision string `json:"decision,omitempty"`
+	Why      string `json:"why,omitempty"`
+	Score    int    `json:"score,omitempty"`
 	// HoistDepth is the call-stack distance of an interprocedural fix.
-	HoistDepth int
+	HoistDepth int `json:"hoist_depth,omitempty"`
 }
 
 // RecordAudit appends an entry to the audit trail.

@@ -266,6 +266,44 @@ func (h *Histogram) observe(v int64) {
 	h.Buckets[bucketOf(v)]++
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations
+// from the power-of-two buckets: it returns the inclusive upper bound of
+// the bucket the quantile rank falls in, clamped to the observed Min/Max.
+// The estimate is exact at the extremes and within the bucket's factor of
+// two elsewhere — good enough for the latency percentiles /metrics serves.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.Count-1)) // 0-based rank of the quantile
+	keys := make([]int, 0, len(h.Buckets))
+	for k := range h.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, k := range keys {
+		cum += h.Buckets[k]
+		if cum > rank {
+			b := BucketBound(k)
+			if b > h.Max {
+				b = h.Max
+			}
+			if b < h.Min {
+				b = h.Min
+			}
+			return b
+		}
+	}
+	return h.Max
+}
+
 // Observe records a value into the named histogram.
 func (r *Recorder) Observe(name string, v int64) {
 	if r == nil {
@@ -279,6 +317,48 @@ func (r *Recorder) Observe(name string, v int64) {
 	}
 	h.observe(v)
 	r.mu.Unlock()
+}
+
+// Merge folds src's counters and histograms into r. hippocratesd gives
+// every job a private recorder (so span trees and audit trails stay
+// per-job) and merges each finished job into one long-lived recorder for
+// the /metrics aggregate. Spans and audit entries are deliberately not
+// merged: they belong to the per-job recorder, whose IDs and Seq numbers
+// would collide under concatenation.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	for k, v := range src.Counters() {
+		r.Add(k, v)
+	}
+	for name, h := range src.Histograms() {
+		r.mergeHistogram(name, h)
+	}
+}
+
+func (r *Recorder) mergeHistogram(name string, src *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	if h.Count == 0 || src.Min < h.Min {
+		h.Min = src.Min
+	}
+	if h.Count == 0 || src.Max > h.Max {
+		h.Max = src.Max
+	}
+	h.Count += src.Count
+	h.Sum += src.Sum
+	if h.Buckets == nil {
+		h.Buckets = make(map[int]int64, len(src.Buckets))
+	}
+	for k, n := range src.Buckets {
+		h.Buckets[k] += n
+	}
 }
 
 // Histograms returns a deep copy of all histograms.

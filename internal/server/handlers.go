@@ -1,0 +1,176 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hippocrates/internal/cli"
+)
+
+// MaxRequestBytes bounds the request body (a pmc program plus options).
+const MaxRequestBytes = 4 << 20
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /api/v1/repair       submit and wait; the cli.Response JSON
+//	POST /api/v1/jobs         submit asynchronously; 202 + {"job_id"}
+//	GET  /api/v1/jobs/{id}       job status (+ response when done)
+//	GET  /api/v1/jobs/{id}/spans the job's own span tree
+//	GET  /metrics             aggregate service metrics
+//	GET  /healthz             liveness (503 while draining)
+//
+// Every submit answers with X-Hippocrates-Job (the job ID) and
+// X-Hippocrates-Cache (hit/miss against the response cache). A full
+// queue is 429 with Retry-After; a draining daemon is 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", s.handleJobSpans)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// errorDoc is the JSON body of every non-2xx answer.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeAndSubmit parses the request body and enqueues it, mapping
+// submission failures onto status codes. A nil job means the response was
+// already written.
+func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) *Job {
+	var req cli.Request
+	body := http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil
+	}
+	job, err := s.Submit(&req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return nil
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return nil
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+	w.Header().Set("X-Hippocrates-Job", job.ID)
+	if job.CacheHit() {
+		w.Header().Set("X-Hippocrates-Cache", "hit")
+	} else {
+		w.Header().Set("X-Hippocrates-Cache", "miss")
+	}
+	return job
+}
+
+// handleRepair is the synchronous path: submit, wait, answer with the
+// pipeline's deterministic response document.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	job := s.decodeAndSubmit(w, r)
+	if job == nil {
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		// The client went away; the job keeps running (its result is
+		// cached for a retry).
+		return
+	}
+	if err := job.Err(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "job %s: %v", job.ID, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(job.ResponseJSON())
+}
+
+// handleSubmit is the asynchronous path: 202 + the job ID to poll.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job := s.decodeAndSubmit(w, r)
+	if job == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}{job.ID, job.State()})
+}
+
+// jobDoc is the GET /api/v1/jobs/{id} body.
+type jobDoc struct {
+	JobID    string          `json:"job_id"`
+	State    string          `json:"state"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	doc := jobDoc{JobID: job.ID, State: job.State(), CacheHit: job.CacheHit()}
+	if err := job.Err(); err != nil {
+		doc.Error = err.Error()
+	}
+	doc.Response = job.ResponseJSON()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	data, err := job.SpansJSON()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := s.MetricsJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}

@@ -1,0 +1,272 @@
+// Package loadgen is the hippocratesd load harness: it replays the
+// crashsim-able corpus (the 15 non-redis buggy targets, each with full
+// repair + crash-schedule validation) against a live daemon at a
+// configurable concurrency, twice — a cold round that must do all the
+// work, then a warm round that should ride the response cache — and
+// reports throughput, client-observed p50/p99 latency, and the
+// warm-over-cold speedup. `hippocratesd -selftest` runs it against an
+// in-process daemon and writes the result to BENCH_server.json.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/corpus"
+)
+
+// The corpus replay's crash-validation budgets: small enough that a full
+// round stays in seconds, large enough that every target exercises real
+// schedule enumeration and recovery boots.
+const (
+	CrashPoints = 24
+	CrashImages = 4
+	StepLimit   = 50_000_000
+)
+
+// CorpusRequests builds one repair+crashcheck request per crashsim-able
+// corpus target (seeded bugs and recovery entries; the eADR redis ports
+// carry no crash-schedule evidence and are excluded — the same set the
+// crash-sweep benchmark uses).
+func CorpusRequests() []*cli.Request {
+	var out []*cli.Request
+	for _, p := range corpus.All() {
+		if p.Target == "redis" || len(p.Bugs) == 0 {
+			continue
+		}
+		out = append(out, &cli.Request{
+			Program:     p.Name + ".pmc",
+			Source:      p.Source(),
+			Mode:        cli.ModeRepair,
+			Entry:       p.Entry,
+			CrashCheck:  true,
+			CrashPoints: CrashPoints,
+			CrashImages: CrashImages,
+			StepLimit:   StepLimit,
+		})
+	}
+	return out
+}
+
+// Options configures a load run.
+type Options struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Concurrency is the number of client workers (default 8).
+	Concurrency int
+	// Requests overrides the replayed set (default CorpusRequests).
+	Requests []*cli.Request
+	// Client overrides the HTTP client (default: 5-minute timeout).
+	Client *http.Client
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+// RoundStats is one replay round as the client observed it.
+type RoundStats struct {
+	Jobs       int     `json:"jobs"`
+	Failures   int     `json:"failures"`
+	Retries429 int     `json:"retries_429"`
+	CacheHits  int     `json:"cache_hits"`
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+}
+
+// Report is the BENCH_server.json document.
+type Report struct {
+	Targets     int `json:"targets"`
+	Concurrency int `json:"concurrency"`
+	Config      struct {
+		CrashPoints int   `json:"crash_points"`
+		CrashImages int   `json:"crash_images"`
+		StepLimit   int64 `json:"step_limit"`
+	} `json:"config"`
+	Cold RoundStats `json:"cold"`
+	Warm RoundStats `json:"warm"`
+	// WarmSpeedup is cold wall time over warm wall time — the headline
+	// the response cache must earn.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// CacheHitRatio is the daemon's /metrics service-level ratio after
+	// both rounds.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// Run replays the request set cold then warm and collects the report.
+func Run(opts Options) (*Report, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Requests == nil {
+		opts.Requests = CorpusRequests()
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	rep := &Report{Targets: len(opts.Requests), Concurrency: opts.Concurrency}
+	rep.Config.CrashPoints = CrashPoints
+	rep.Config.CrashImages = CrashImages
+	rep.Config.StepLimit = StepLimit
+
+	for i, name := range []string{"cold", "warm"} {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "loadgen: %s round: %d jobs at concurrency %d\n",
+				name, len(opts.Requests), opts.Concurrency)
+		}
+		rs, err := runRound(opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s round: %w", name, err)
+		}
+		if i == 0 {
+			rep.Cold = *rs
+		} else {
+			rep.Warm = *rs
+		}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "loadgen: %s round: %.0f ms wall, %.1f jobs/s, p50 %.1f ms, p99 %.1f ms, %d cache hit(s)\n",
+				name, rs.WallMS, rs.Throughput, rs.P50MS, rs.P99MS, rs.CacheHits)
+		}
+	}
+	if rep.Warm.WallMS > 0 {
+		rep.WarmSpeedup = rep.Cold.WallMS / rep.Warm.WallMS
+	}
+	ratio, err := fetchHitRatio(opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.CacheHitRatio = ratio
+	return rep, nil
+}
+
+// runRound pushes every request through the daemon once, opts.Concurrency
+// at a time, retrying 429 backpressure rejections with a short backoff.
+func runRound(opts Options) (*RoundStats, error) {
+	type outcome struct {
+		latency time.Duration
+		retries int
+		hit     bool
+		err     error
+	}
+	jobs := make(chan *cli.Request)
+	results := make(chan outcome, len(opts.Requests))
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range jobs {
+				var o outcome
+				o.latency, o.retries, o.hit, o.err = post(opts, req)
+				results <- o
+			}
+		}()
+	}
+	start := time.Now()
+	for _, req := range opts.Requests {
+		jobs <- req
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+	close(results)
+
+	rs := &RoundStats{Jobs: len(opts.Requests), WallMS: float64(wall.Nanoseconds()) / 1e6}
+	var lats []float64
+	for o := range results {
+		rs.Retries429 += o.retries
+		if o.err != nil {
+			rs.Failures++
+			continue
+		}
+		if o.hit {
+			rs.CacheHits++
+		}
+		lats = append(lats, float64(o.latency.Nanoseconds())/1e6)
+	}
+	if rs.Failures > 0 {
+		return rs, fmt.Errorf("%d of %d jobs failed", rs.Failures, rs.Jobs)
+	}
+	sort.Float64s(lats)
+	if len(lats) > 0 {
+		rs.P50MS = lats[len(lats)/2]
+		rs.P99MS = lats[(len(lats)*99)/100]
+		rs.MaxMS = lats[len(lats)-1]
+	}
+	if wall > 0 {
+		rs.Throughput = float64(rs.Jobs) / wall.Seconds()
+	}
+	return rs, nil
+}
+
+// post submits one request synchronously, honoring 429 + Retry-After.
+func post(opts Options, req *cli.Request) (latency time.Duration, retries int, hit bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	start := time.Now()
+	for {
+		resp, err := opts.Client.Post(opts.BaseURL+"/api/v1/repair", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, retries, false, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, retries, false, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return time.Since(start), retries, resp.Header.Get("X-Hippocrates-Cache") == "hit", nil
+		case http.StatusTooManyRequests:
+			retries++
+			if retries > 1000 {
+				return 0, retries, false, fmt.Errorf("gave up after %d backpressure retries", retries)
+			}
+			time.Sleep(50 * time.Millisecond)
+		default:
+			return 0, retries, false, fmt.Errorf("%s: HTTP %d: %s", req.Program, resp.StatusCode, data)
+		}
+	}
+}
+
+// fetchHitRatio reads the daemon's service-level cache hit ratio.
+func fetchHitRatio(opts Options) (float64, error) {
+	resp, err := opts.Client.Get(opts.BaseURL + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Cache struct {
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, err
+	}
+	return doc.Cache.HitRatio, nil
+}
+
+// WriteJSON runs the load and writes the report to path.
+func WriteJSON(path string, opts Options) (*Report, error) {
+	rep, err := Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetricsDoc is the /metrics JSON shape; schema/metrics.schema.json is
+// the checked-in contract the server smoke test validates against.
+type MetricsDoc struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Workers       int      `json:"workers"`
+	Queue         QueueDoc `json:"queue"`
+	Jobs          JobsDoc  `json:"jobs"`
+	Cache         CacheDoc `json:"cache"`
+	// Phases carries a latency histogram per pipeline phase plus the
+	// whole-job "job" row, sorted by name.
+	Phases []PhaseLatencyDoc `json:"phases"`
+	// Counters is the merged counter space of every finished job
+	// (interp steps, trace events, fixes by mechanism, crashsim work...).
+	Counters map[string]int64 `json:"counters"`
+}
+
+// QueueDoc describes the worker pool's current load.
+type QueueDoc struct {
+	Depth    int   `json:"depth"`
+	Capacity int   `json:"capacity"`
+	InFlight int64 `json:"in_flight"`
+	Rejected int64 `json:"rejected"`
+	Draining bool  `json:"draining"`
+}
+
+// JobsDoc counts job outcomes since boot.
+type JobsDoc struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cached    int64 `json:"cached"`
+}
+
+// CacheDoc reports the three content-addressed caches. HitRatio is
+// response+artifact hits over response+artifact lookups (the service-level
+// ratio; verdict-cache traffic is reported separately because one job
+// makes thousands of verdict lookups and would drown the signal).
+type CacheDoc struct {
+	ResponseHits   int64   `json:"response_hits"`
+	ResponseMisses int64   `json:"response_misses"`
+	ArtifactHits   int64   `json:"artifact_hits"`
+	ArtifactMisses int64   `json:"artifact_misses"`
+	VerdictHits    int64   `json:"verdict_hits"`
+	VerdictMisses  int64   `json:"verdict_misses"`
+	HitRatio       float64 `json:"hit_ratio"`
+}
+
+// PhaseLatencyDoc is one phase's latency distribution over all jobs.
+type PhaseLatencyDoc struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	P50NS int64  `json:"p50_ns"`
+	P99NS int64  `json:"p99_ns"`
+	MaxNS int64  `json:"max_ns"`
+	SumNS int64  `json:"sum_ns"`
+}
+
+// Metrics snapshots the service's aggregate state.
+func (s *Server) Metrics() *MetricsDoc {
+	doc := &MetricsDoc{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       len(s.shards),
+		Queue: QueueDoc{
+			Depth:    s.QueueDepth(),
+			Capacity: len(s.shards) * s.cfg.QueueDepth,
+			InFlight: s.inFlight.Load(),
+			Rejected: s.rejected.Load(),
+			Draining: s.draining.Load(),
+		},
+		Jobs: JobsDoc{
+			Submitted: s.submitted.Load(),
+			Completed: s.completed.Load(),
+			Failed:    s.failed.Load(),
+			Cached:    s.cached.Load(),
+		},
+		Phases:   []PhaseLatencyDoc{},
+		Counters: s.rec.Counters(),
+	}
+	rh, rm := s.responses.stats()
+	ah, am, vh, vm := s.artifacts.stats()
+	doc.Cache = CacheDoc{
+		ResponseHits: rh, ResponseMisses: rm,
+		ArtifactHits: ah, ArtifactMisses: am,
+		VerdictHits: vh, VerdictMisses: vm,
+	}
+	if lookups := rh + rm + ah + am; lookups > 0 {
+		doc.Cache.HitRatio = float64(rh+ah) / float64(lookups)
+	}
+	// Histograms() returns a deep copy sorted here by name for a stable
+	// document. "server.job.ns" renders as phase "job".
+	names := []string{}
+	hists := s.rec.Histograms()
+	for name := range hists {
+		if strings.HasPrefix(name, "server.phase.") || name == "server.job.ns" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		phase := strings.TrimSuffix(strings.TrimPrefix(name, "server.phase."), ".ns")
+		if name == "server.job.ns" {
+			phase = "job"
+		}
+		doc.Phases = append(doc.Phases, PhaseLatencyDoc{
+			Name:  phase,
+			Count: h.Count,
+			P50NS: h.Quantile(0.50),
+			P99NS: h.Quantile(0.99),
+			MaxNS: h.Max,
+			SumNS: h.Sum,
+		})
+	}
+	return doc
+}
+
+// MetricsJSON renders the snapshot as indented JSON.
+func (s *Server) MetricsJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s.Metrics(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

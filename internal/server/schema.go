@@ -1,0 +1,36 @@
+package server
+
+import (
+	"embed"
+
+	"hippocrates/internal/obs"
+)
+
+// The HTTP API's output contract. `make server-smoke` round-trips a
+// corpus program through a live daemon and validates both the response
+// body and /metrics against these schemas, so a change to either shape
+// must update them in the same commit.
+//
+//go:embed schema/response.schema.json schema/metrics.schema.json
+var schemaFS embed.FS
+
+// ResponseSchema returns the checked-in schema for the repair response.
+func ResponseSchema() []byte { return mustSchema("schema/response.schema.json") }
+
+// MetricsSchema returns the checked-in schema for /metrics.
+func MetricsSchema() []byte { return mustSchema("schema/metrics.schema.json") }
+
+func mustSchema(name string) []byte {
+	b, err := schemaFS.ReadFile(name)
+	if err != nil {
+		panic("server: embedded schema missing: " + err.Error())
+	}
+	return b
+}
+
+// ValidateResponse checks a response document against the schema using
+// the obs package's embedded zero-dependency validator.
+func ValidateResponse(doc []byte) error { return obs.ValidateJSON(ResponseSchema(), doc) }
+
+// ValidateMetrics checks a /metrics document against the schema.
+func ValidateMetrics(doc []byte) error { return obs.ValidateJSON(MetricsSchema(), doc) }

@@ -1,0 +1,452 @@
+// Package server is hippocratesd's engine: a concurrent repair-as-a-service
+// front end over the same cli.Run pipeline the command-line tools drive.
+// Jobs arrive over HTTP (see handlers.go), flow through a bounded,
+// source-sharded worker pool, and are answered with the deterministic
+// cli.Response JSON — repaired source, repair-provenance audit trail, and
+// per-round crash verdicts.
+//
+// Three layers make it a service rather than a looped CLI:
+//
+//   - Backpressure: each worker owns a bounded queue; a full queue rejects
+//     the submit (HTTP 429 + Retry-After) instead of buffering without
+//     bound, and SIGTERM drains what was accepted before exiting.
+//   - Content-addressed caching: a response cache keyed by the canonical
+//     request hash serves repeated requests byte-identically without
+//     running anything, and an artifact cache keyed by the source hash
+//     memoizes the lex/parse/lower result (each job repairs a private
+//     clone) and shares the crashsim verdict cache across jobs of the same
+//     program. Jobs are sharded by source key, so same-source jobs
+//     serialize onto one worker and hit those caches warm.
+//   - Isolation: every job runs under its own obs.Recorder (span trees and
+//     audit trails never interleave; retrievable per job ID), inside
+//     core.RunAndRepair's panic isolation, against a clamped wall-clock
+//     deadline — a poisoned job fails alone, the daemon keeps serving.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/ir"
+	"hippocrates/internal/obs"
+)
+
+// Config sizes the service. The zero value gets sensible defaults from New.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS, max 8). Each
+	// worker owns one queue shard; jobs are assigned by source hash.
+	Workers int
+	// QueueDepth bounds each worker's queue (default 32). A submit to a
+	// full shard fails with ErrQueueFull — the HTTP layer's 429.
+	QueueDepth int
+	// Retention bounds how many finished jobs stay retrievable by ID
+	// (default 256; oldest evicted first).
+	Retention int
+	// ResponseCacheSize / ArtifactCacheSize bound the two content caches
+	// (defaults 512 and 64 entries).
+	ResponseCacheSize int
+	ArtifactCacheSize int
+	// DefaultTimeout applies to jobs that specify no timeout_ms;
+	// MaxTimeout clamps jobs that ask for more (defaults 60s / 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// StepLimit overrides the per-run instruction budget of jobs that
+	// specify none (0 keeps the interpreter's 100M default).
+	StepLimit int64
+	// Log receives one line per job (nil = silent).
+	Log io.Writer
+}
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the job's shard queue is at capacity (429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining means the daemon is shutting down (503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is one submitted request and its lifecycle.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	state    string
+	err      error
+	respJSON []byte
+	cacheHit bool
+	rec      *obs.Recorder
+	done     chan struct{}
+	req      *cli.Request
+	created  time.Time
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's failure (nil unless StateFailed).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ResponseJSON returns the serialized response (nil until StateDone).
+func (j *Job) ResponseJSON() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.respJSON
+}
+
+// CacheHit reports whether the job was answered from the response cache.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Done returns a channel closed when the job finishes (either state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// SpansJSON returns the job's own span tree (per-job recorder, so
+// concurrent jobs never interleave). Nil until the job ran.
+func (j *Job) SpansJSON() ([]byte, error) {
+	j.mu.Lock()
+	rec := j.rec
+	j.mu.Unlock()
+	if rec == nil {
+		return nil, fmt.Errorf("job %s has no spans yet", j.ID)
+	}
+	return rec.SpansJSON()
+}
+
+// Server is the repair service.
+type Server struct {
+	cfg    Config
+	shards []chan *Job
+	wg     sync.WaitGroup
+
+	responses *responseCache
+	artifacts *artifactCache
+
+	// rec aggregates counters and latency histograms over all finished
+	// jobs (per-job span trees stay on the jobs' own recorders — merging
+	// them would interleave span IDs).
+	rec *obs.Recorder
+
+	inFlight  atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cached    atomic.Int64
+	rejected  atomic.Int64
+	draining  atomic.Bool
+	start     time.Time
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // completion-retention ring, oldest first
+	seq   int64
+}
+
+// New starts a server's worker pool. Call Shutdown to drain it.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 256
+	}
+	if cfg.ResponseCacheSize <= 0 {
+		cfg.ResponseCacheSize = 512
+	}
+	if cfg.ArtifactCacheSize <= 0 {
+		cfg.ArtifactCacheSize = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	s := &Server{
+		cfg:       cfg,
+		responses: newResponseCache(cfg.ResponseCacheSize),
+		artifacts: newArtifactCache(cfg.ArtifactCacheSize),
+		rec:       obs.New(),
+		jobs:      make(map[string]*Job),
+		start:     time.Now(),
+	}
+	s.shards = make([]chan *Job, cfg.Workers)
+	for i := range s.shards {
+		s.shards[i] = make(chan *Job, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	return s
+}
+
+// Submit validates and enqueues a request. It returns the job — possibly
+// already done, when the response cache recognizes the request — or
+// ErrQueueFull / ErrDraining / a validation error.
+func (s *Server) Submit(req *cli.Request) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid request: %w", err)
+	}
+	// Clamp the job's budgets to service policy here, before the response
+	// cache is probed: the cache key covers the canonical request, so the
+	// clamped form must be what both get and put hash.
+	if req.TimeoutMS <= 0 {
+		req.TimeoutMS = s.cfg.DefaultTimeout.Milliseconds()
+	}
+	if maxMS := s.cfg.MaxTimeout.Milliseconds(); req.TimeoutMS > maxMS {
+		req.TimeoutMS = maxMS
+	}
+	if req.StepLimit == 0 {
+		req.StepLimit = s.cfg.StepLimit
+	}
+	job := &Job{
+		state:   StateQueued,
+		done:    make(chan struct{}),
+		req:     req,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	s.seq++
+	job.ID = fmt.Sprintf("job-%06d", s.seq)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	// Response-cache fast path: an identical request (canonical hash) was
+	// already answered, and the pipeline is deterministic — serve the
+	// bytes without queueing.
+	if data, ok := s.responses.get(req.Key()); ok {
+		job.mu.Lock()
+		job.state = StateDone
+		job.respJSON = data
+		job.cacheHit = true
+		job.mu.Unlock()
+		close(job.done)
+		s.cached.Add(1)
+		s.completed.Add(1)
+		s.rec.Add("server.jobs.response_cache_hits", 1)
+		s.remember(job)
+		s.logf("%s %s %s: response cache hit", job.ID, req.Mode, req.Program)
+		return job, nil
+	}
+
+	shard := s.shards[shardOf(req.SourceKey(), len(s.shards))]
+	select {
+	case shard <- job:
+		s.remember(job)
+		return job, nil
+	default:
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// shardOf maps a source key onto a worker, so jobs for the same program
+// serialize onto the same queue and find its artifacts warm.
+func shardOf(key string, n int) int {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// remember indexes the job by ID and evicts beyond the retention bound.
+func (s *Server) remember(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > s.cfg.Retention {
+		oldest := s.jobs[s.order[0]]
+		if oldest != nil {
+			select {
+			case <-oldest.done:
+			default:
+				// Still pending; keep everything until it finishes.
+				return
+			}
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Job returns a retained job by ID.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker drains one shard queue.
+func (s *Server) worker(ch chan *Job) {
+	defer s.wg.Done()
+	for job := range ch {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job end to end: artifact lookup (memoized compile +
+// shared verdict cache), a private module clone, the cli pipeline under
+// the job's own recorder, response serialization, and cache fills.
+func (s *Server) runJob(job *Job) {
+	s.inFlight.Add(1)
+	started := time.Now()
+	job.mu.Lock()
+	job.state = StateRunning
+	req := job.req
+	rec := obs.New()
+	job.rec = rec
+	job.mu.Unlock()
+
+	root := rec.StartSpan("job")
+	root.SetAttr("job", job.ID)
+
+	finish := func(data []byte, err error) {
+		root.End()
+		s.inFlight.Add(-1)
+		job.mu.Lock()
+		if err != nil {
+			job.state = StateFailed
+			job.err = err
+		} else {
+			job.state = StateDone
+			job.respJSON = data
+		}
+		job.mu.Unlock()
+		close(job.done)
+		elapsed := time.Since(started)
+		if err != nil {
+			s.failed.Add(1)
+			s.rec.Add("server.jobs.failed", 1)
+			s.logf("%s %s %s: FAILED in %s: %v", job.ID, req.Mode, req.Program, elapsed.Round(time.Millisecond), err)
+		} else {
+			s.completed.Add(1)
+			s.logf("%s %s %s: done in %s", job.ID, req.Mode, req.Program, elapsed.Round(time.Millisecond))
+		}
+		// Fold the job's counters and per-phase wall times into the
+		// service-wide aggregate. Span trees stay on the job recorder.
+		s.rec.Merge(rec)
+		s.rec.Observe("server.job.ns", elapsed.Nanoseconds())
+		for _, pt := range rec.PhaseTotals() {
+			if pt.Name == "job" {
+				continue
+			}
+			s.rec.Observe("server.phase."+pt.Name+".ns", pt.Total.Nanoseconds())
+		}
+	}
+
+	// Artifact cache: compile once per (program, source), clone per job —
+	// repair mutates the module, the cached master stays pristine.
+	art, err := s.artifacts.get(req, s.rec)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	mod := ir.CloneModule(art.mod)
+
+	// Share memoized crash verdicts across jobs of this source. Sound
+	// because verdict keys are image-content hashes and same-source jobs
+	// serialize on one shard; if this job's repair rewrites
+	// recovery-reachable code, the pipeline Resets the cache (bumping its
+	// generation) and we retire the shared instance — its surviving
+	// entries would describe the repaired module's recovery code, not the
+	// original's.
+	var gen int64
+	if req.CrashCheck && !req.NoDedup && req.CrashCache == nil {
+		req.CrashCache = art.verdicts()
+		gen = req.CrashCache.Generation()
+	}
+
+	resp, err := cli.RunModule(req, mod, root)
+	if req.CrashCache != nil {
+		if req.CrashCache.Generation() != gen {
+			art.retireVerdicts(req.CrashCache)
+		}
+		req.CrashCache = nil
+	}
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	data, err := resp.EncodeJSON()
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	s.responses.put(req.Key(), data)
+	finish(data, nil)
+}
+
+// Shutdown drains the pool: no new submissions are accepted, queued jobs
+// run to completion (bounded by ctx), then the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil // already draining
+	}
+	for _, ch := range s.shards {
+		close(ch)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueDepth returns the total queued (not yet running) jobs.
+func (s *Server) QueueDepth() int {
+	n := 0
+	for _, ch := range s.shards {
+		n += len(ch)
+	}
+	return n
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "hippocratesd: "+format+"\n", args...)
+}

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hippocrates/internal/cli"
+)
+
+// srcPublish is the canonical unflushed-payload bug with both recovery
+// entries, so repair + crash validation exercise the whole service path.
+const srcPublish = `
+pm int payload;
+pm int flag;
+
+int invariant_check() {
+	if (payload != 0 && payload != 42) { return 1; }
+	if (flag != 0 && flag != 1) { return 2; }
+	return 0;
+}
+
+int crash_check(int completed) {
+	if (completed >= 1) {
+		if (payload != 42) { return 1; }
+		if (flag != 1) { return 2; }
+	}
+	return 0;
+}
+
+int main() {
+	payload = 42; // missing flush
+	flag = 1;
+	clwb(&flag);
+	sfence();
+	pm_checkpoint();
+	return 0;
+}
+`
+
+// srcSpin burns its whole step budget in a tight loop — the test's stand-in
+// for a long job that keeps a worker busy.
+const srcSpin = `
+int main() {
+	int x = 0;
+	while (x >= 0) { x = 1; }
+	return x;
+}
+`
+
+func publishReq() *cli.Request {
+	return &cli.Request{
+		Program:     "publish.pmc",
+		Source:      srcPublish,
+		Mode:        cli.ModeRepair,
+		CrashCheck:  true,
+		CrashPoints: 16,
+		CrashImages: 4,
+		StepLimit:   10_000_000,
+	}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestResponseCacheServesByteIdentical: the second identical submit must be
+// answered from the response cache, byte-for-byte, without queueing, and
+// the response must satisfy the checked-in schema.
+func TestResponseCacheServesByteIdentical(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+
+	j1, err := s.Submit(publishReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	if j1.State() != StateDone {
+		t.Fatalf("job 1: state %s, err %v", j1.State(), j1.Err())
+	}
+	if j1.CacheHit() {
+		t.Fatal("job 1 claims a cache hit on an empty cache")
+	}
+	first := j1.ResponseJSON()
+	if err := ValidateResponse(first); err != nil {
+		t.Fatalf("response violates schema: %v", err)
+	}
+
+	j2, err := s.Submit(publishReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+	if !j2.CacheHit() {
+		t.Error("identical resubmit missed the response cache")
+	}
+	if !bytes.Equal(first, j2.ResponseJSON()) {
+		t.Errorf("cached response differs: %d vs %d bytes", len(first), len(j2.ResponseJSON()))
+	}
+
+	// The repaired program must actually be repaired.
+	var doc struct {
+		Fixed      bool `json:"fixed"`
+		BugsBefore int  `json:"bugs_before"`
+		Crash      *struct {
+			Passed bool `json:"passed"`
+		} `json:"crash"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BugsBefore == 0 || !doc.Fixed || doc.Crash == nil || !doc.Crash.Passed {
+		t.Errorf("unexpected verdict: bugs_before=%d fixed=%v crash=%+v",
+			doc.BugsBefore, doc.Fixed, doc.Crash)
+	}
+}
+
+// TestBackpressure: with one worker and a one-deep queue, a burst of slow
+// jobs must hit ErrQueueFull instead of buffering without bound, and the
+// accepted jobs must still run to completion.
+func TestBackpressure(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer shutdown(t, s)
+
+	spin := func() *cli.Request {
+		return &cli.Request{Program: "spin.pmc", Source: srcSpin, Mode: cli.ModeRepair, StepLimit: 20_000_000}
+	}
+	var accepted []*Job
+	var rejected int
+	// Worker busy with job 1, queue holds job 2 → a burst of 6 must see
+	// at least one rejection (the exact count depends on dequeue timing).
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(spin())
+		switch {
+		case err == nil:
+			accepted = append(accepted, j)
+		case errors.Is(err, ErrQueueFull):
+			rejected++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if rejected == 0 {
+		t.Error("6-job burst against a 1x1 pool saw no ErrQueueFull")
+	}
+	if len(accepted) == 0 {
+		t.Fatal("every submit was rejected")
+	}
+	for _, j := range accepted {
+		waitDone(t, j)
+		// The spin program exhausts its step budget: the job fails, alone.
+		if j.State() != StateFailed {
+			t.Errorf("%s: state %s, want failed", j.ID, j.State())
+		}
+	}
+	if got := s.Metrics().Queue.Rejected; got != int64(rejected) {
+		t.Errorf("metrics report %d rejections, submit saw %d", got, rejected)
+	}
+}
+
+// TestPoisonedJobFailsAlone: a job that cannot compile and a job that dies
+// at runtime each fail in isolation; the daemon keeps serving and the next
+// good job succeeds on the same worker.
+func TestPoisonedJobFailsAlone(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+
+	bad, err := s.Submit(&cli.Request{Program: "broken.pmc", Source: "int main( {"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noEntry, err := s.Submit(&cli.Request{Program: "noentry.pmc", Source: "int helper() { return 0; }", Entry: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Submit(publishReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, bad)
+	waitDone(t, noEntry)
+	waitDone(t, good)
+
+	if bad.State() != StateFailed || bad.Err() == nil {
+		t.Errorf("compile-error job: state %s, err %v", bad.State(), bad.Err())
+	}
+	if noEntry.State() != StateFailed || noEntry.Err() == nil {
+		t.Errorf("missing-entry job: state %s, err %v", noEntry.State(), noEntry.Err())
+	}
+	if good.State() != StateDone {
+		t.Errorf("good job after two poisoned ones: state %s, err %v", good.State(), good.Err())
+	}
+	m := s.Metrics()
+	if m.Jobs.Failed != 2 || m.Jobs.Completed != 1 {
+		t.Errorf("metrics: failed=%d completed=%d, want 2/1", m.Jobs.Failed, m.Jobs.Completed)
+	}
+}
+
+// TestDrain: Shutdown finishes accepted jobs and rejects new submissions.
+func TestDrain(t *testing.T) {
+	s := New(Config{Workers: 2})
+
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(publishReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	shutdown(t, s)
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Errorf("%s still pending after drain", j.ID)
+		}
+		if j.State() != StateDone {
+			t.Errorf("%s: state %s after drain, err %v", j.ID, j.State(), j.Err())
+		}
+	}
+	if _, err := s.Submit(publishReq()); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit while draining: err %v, want ErrDraining", err)
+	}
+}
+
+// TestMetricsSchema: a served /metrics document satisfies the checked-in
+// schema and reports the cache traffic the workload implies.
+func TestMetricsSchema(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(publishReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	data, err := s.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(data); err != nil {
+		t.Fatalf("/metrics violates schema: %v\n%s", err, data)
+	}
+	m := s.Metrics()
+	if m.Cache.HitRatio <= 0 {
+		t.Errorf("hit ratio %v after identical resubmits, want > 0", m.Cache.HitRatio)
+	}
+	if m.Cache.ResponseHits != 2 || m.Cache.ArtifactMisses != 1 {
+		t.Errorf("cache traffic: %+v, want 2 response hits, 1 artifact miss", m.Cache)
+	}
+	found := false
+	for _, p := range m.Phases {
+		if p.Name == "job" && p.Count >= 1 && p.P50NS > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no usable \"job\" latency histogram in %+v", m.Phases)
+	}
+}
+
+// TestHTTPRoundTrip drives the actual HTTP mux: synchronous repair with
+// cache headers, async submit + poll, span retrieval, health.
+func TestHTTPRoundTrip(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(publishReq())
+	resp, err := http.Post(ts.URL+"/api/v1/repair", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /api/v1/repair: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Hippocrates-Cache"); got != "miss" {
+		t.Errorf("first POST cache header %q, want miss", got)
+	}
+	jobID := resp.Header.Get("X-Hippocrates-Job")
+	if jobID == "" {
+		t.Fatal("no X-Hippocrates-Job header")
+	}
+
+	// The job's spans are retrievable and carry the pipeline phases.
+	spansResp, err := http.Get(ts.URL + "/api/v1/jobs/" + jobID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spansResp.Body.Close()
+	var spansDoc struct {
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(spansResp.Body).Decode(&spansDoc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range spansDoc.Spans {
+		names[sp.Name] = true
+	}
+	for _, phase := range []string{"job", "trace", "detect", "plan", "apply", "revalidate", "crashsim"} {
+		if !names[phase] {
+			t.Errorf("span tree for %s is missing %q", jobID, phase)
+		}
+	}
+
+	// Async submit of the same request: answered from the cache, done at once.
+	asyncResp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer asyncResp.Body.Close()
+	if asyncResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /api/v1/jobs: %d", asyncResp.StatusCode)
+	}
+	if got := asyncResp.Header.Get("X-Hippocrates-Cache"); got != "hit" {
+		t.Errorf("async resubmit cache header %q, want hit", got)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(asyncResp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	jobResp, err := http.Get(ts.URL + "/api/v1/jobs/" + acc.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jobResp.Body.Close()
+	var jd struct {
+		State    string          `json:"state"`
+		CacheHit bool            `json:"cache_hit"`
+		Response json.RawMessage `json:"response"`
+	}
+	if err := json.NewDecoder(jobResp.Body).Decode(&jd); err != nil {
+		t.Fatal(err)
+	}
+	if jd.State != StateDone || !jd.CacheHit || len(jd.Response) == 0 {
+		t.Errorf("async job doc: state=%s cache_hit=%v response=%d bytes",
+			jd.State, jd.CacheHit, len(jd.Response))
+	}
+
+	// Unknown fields and unknown jobs are client errors, not crashes.
+	badResp, err := http.Post(ts.URL+"/api/v1/repair", "application/json",
+		strings.NewReader(`{"source":"int main(){return 0;}","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", badResp.StatusCode)
+	}
+	missing, err := http.Get(ts.URL + "/api/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", missing.StatusCode)
+	}
+
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: %d", health.StatusCode)
+	}
+}

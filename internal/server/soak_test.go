@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hippocrates/internal/cli"
+	"hippocrates/internal/obs"
+	"hippocrates/internal/server/loadgen"
+)
+
+// TestSoakConcurrentMatchesSequential is the service's determinism proof:
+// 32 jobs over the crashsim-able corpus, 16+ in flight at once under
+// -race, must produce responses byte-identical to sequential one-shot
+// cli.Run invocations of the same requests. The only tolerated difference
+// is the crashsim `stats` accounting (cache hits, images built, COW page
+// counters), which legitimately depends on which jobs shared a verdict
+// cache; normalizeResponse zeroes it on both sides before comparing.
+func TestSoakConcurrentMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus soak in -short mode")
+	}
+	base := loadgen.CorpusRequests()
+	if len(base) < 10 {
+		t.Fatalf("corpus yielded only %d crashsim-able targets", len(base))
+	}
+	// Pin the budgets the daemon would otherwise default for us, so the
+	// sequential baseline runs under identical options.
+	clone := func(i int) *cli.Request {
+		c := *base[i%len(base)]
+		c.TimeoutMS = 60_000
+		return &c
+	}
+
+	// Sequential ground truth: one fresh recorder per run, no shared
+	// caches, exactly what the CLI one-shot path does.
+	want := make([]string, len(base))
+	for i := range base {
+		rec := obs.New()
+		root := rec.StartSpan("job")
+		resp, err := cli.Run(clone(i), root)
+		root.End()
+		if err != nil {
+			t.Fatalf("sequential %s: %v", base[i].Program, err)
+		}
+		data, err := resp.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = normalizeResponse(t, data)
+	}
+
+	const jobs = 32
+	s := New(Config{Workers: 8, QueueDepth: jobs})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	got := make([]string, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := s.Submit(clone(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			select {
+			case <-j.Done():
+			case <-time.After(4 * time.Minute):
+				errs[i] = fmt.Errorf("job %s timed out", j.ID)
+				return
+			}
+			if err := j.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = normalizeResponse(t, j.ResponseJSON())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent %s: %v", base[i%len(base)].Program, err)
+		}
+	}
+	for i := 0; i < jobs; i++ {
+		if got[i] != want[i%len(base)] {
+			t.Errorf("%s: concurrent response diverged from sequential run\nconcurrent: %.400s\nsequential: %.400s",
+				base[i%len(base)].Program, got[i], want[i%len(base)])
+		}
+	}
+}
+
+// normalizeResponse strips the crashsim stats accounting — the one
+// deliberately non-deterministic corner of the response — and re-marshals
+// with sorted keys, so equal pipelines compare equal regardless of cache
+// sharing.
+func normalizeResponse(t *testing.T, data []byte) string {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if crash, ok := doc["crash"].(map[string]any); ok {
+		delete(crash, "stats")
+	}
+	if rounds, ok := doc["crash_rounds"].([]any); ok {
+		for _, r := range rounds {
+			if round, ok := r.(map[string]any); ok {
+				delete(round, "stats")
+			}
+		}
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
