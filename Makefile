@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke bench-server
+.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke bench-server bench-optimize
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ crash-smoke:
 	fi
 	$(GO) run ./cmd/hippocrates -crashcheck testdata/crash_smoke.pmc
 
+# optimize-smoke runs the repair-to-optimize pass over the whole corpus
+# (buggy targets are repaired first) and re-proves "do no harm"
+# externally: workload return values and detector report multisets must
+# be unchanged, the crashsim-able targets must carry a verdict-identity
+# proof, and the showcase targets (the four overpersist shapes plus
+# redis-flushfree) must each lose at least one flush or fence.
+optimize-smoke:
+	$(GO) test ./internal/optimize/ -run TestOptimizeSmoke -count=1 -v
+
 # server-smoke boots hippocratesd on an ephemeral port, round-trips one
 # buggy corpus program (repair + crash validation), schema-validates the
 # response and /metrics against internal/server/schema/, and proves an
@@ -55,6 +64,7 @@ verify: vet build
 	$(MAKE) agreement
 	$(MAKE) metrics-smoke
 	$(MAKE) crash-smoke
+	$(MAKE) optimize-smoke
 	$(MAKE) server-smoke
 
 bench:
@@ -66,3 +76,9 @@ bench:
 # BENCH_server.json.
 bench-server:
 	$(GO) run ./cmd/hippocratesd -selftest -quiet -bench-out $(CURDIR)/BENCH_server.json
+
+# bench-optimize sweeps the optimize pass over the corpus and writes the
+# per-target simulated-cost deltas (pmem.CostModel) of the proven edit
+# set to BENCH_optimize.json.
+bench-optimize:
+	BENCH_OPTIMIZE_OUT=$(CURDIR)/BENCH_optimize.json $(GO) test -run '^TestWriteOptSweepJSON$$' -count=1 -v ./internal/bench/

@@ -25,6 +25,10 @@
 //	-crashcheck       after repair, crash-inject the repaired module at PM
 //	                  event boundaries and require its recovery entries to
 //	                  accept every feasible post-crash image
+//	-optimize         after a successful repair, delete/coalesce/sink
+//	                  provably-redundant flushes and fences; every edit is
+//	                  proven harmless by run/report identity and (with
+//	                  recovery entries) crashsim verdict identity
 //	-invariant NAME   structural recovery entry for -crashcheck
 //	                  (default invariant_check; "-" disables)
 //	-recovery NAME    durability-promise recovery entry for -crashcheck
@@ -75,6 +79,7 @@ func main() {
 	invariant := flag.String("invariant", "", "structural recovery entry for -crashcheck (default invariant_check)")
 	recovery := flag.String("recovery", "", "durability-promise recovery entry for -crashcheck (default crash_check)")
 	noDedup := flag.Bool("no-dedup", false, "disable verdict dedup for -crashcheck (debug escape hatch)")
+	optimizeFlag := flag.Bool("optimize", false, "prove-and-apply redundant flush/fence elimination after repair")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -107,6 +112,12 @@ func main() {
 		if *crashCheck {
 			usage("-crashcheck executes the program; it cannot be combined with -static")
 		}
+		if *optimizeFlag {
+			usage("-optimize measures executions; it cannot be combined with -static")
+		}
+	}
+	if *optimizeFlag && *tracePath != "" {
+		usage("-optimize re-executes the program; it cannot be combined with -trace")
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hippocrates [flags] program.pmc")
@@ -124,6 +135,7 @@ func main() {
 		Invariant:  *invariant,
 		Recovery:   *recovery,
 		NoDedup:    *noDedup,
+		Optimize:   *optimizeFlag,
 		StepLimit:  limits.StepLimit,
 	}
 	if *showScores {
@@ -216,6 +228,14 @@ func run(path, out, tracePath string, showFixes, showDiff bool,
 	repairErr := error(nil)
 	if resp.Fixed {
 		fmt.Println("hippocrates: repaired module is clean under the bug finder")
+		if resp.Optimize != nil {
+			fmt.Print(resp.Optimize.Summary())
+			if showFixes {
+				for _, e := range resp.Optimize.Edits {
+					fmt.Printf("  %s\n", e)
+				}
+			}
+		}
 	} else {
 		switch {
 		case resp.Pipeline != nil && !resp.Pipeline.After.Clean():

@@ -15,6 +15,8 @@
 //	-trace FILE    also save the generated trace
 //	-replay FILE   analyze an existing trace instead of running
 //	-static        static persistency-state analysis; no execution
+//	-optimize      prove-and-apply redundant flush/fence elimination on
+//	               the program as given (reported, never written)
 //	-steplimit N   instruction budget per interpreter run (default 100M)
 //	-metrics FILE  write counters/histograms/phase timings as JSON
 //	-spans FILE    write the span tree as Chrome trace_event JSON
@@ -52,6 +54,7 @@ func main() {
 	saveTrace := flag.String("trace", "", "save the generated trace to this file")
 	replay := flag.String("replay", "", "analyze an existing trace file")
 	staticMode := flag.Bool("static", false, "static persistency-state analysis instead of executing")
+	optimizeFlag := flag.Bool("optimize", false, "prove-and-apply redundant flush/fence elimination on the program as given")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -84,10 +87,15 @@ func main() {
 			usage("pmcheck: -replay takes no program argument (got " + flag.Arg(0) + ")")
 		case obsFlags.Audit:
 			usage("pmcheck: -audit needs the program to repair; it cannot be combined with -replay")
+		case *optimizeFlag:
+			usage("pmcheck: -optimize re-executes the program; it cannot be combined with -replay")
 		}
 	}
 	if *staticMode && stepLimitSet {
 		usage("pmcheck: -static never executes; -steplimit has no effect (drop it)")
+	}
+	if *staticMode && *optimizeFlag {
+		usage("pmcheck: -optimize measures executions; it cannot be combined with -static")
 	}
 
 	rec := obsFlags.NewRecorder()
@@ -145,6 +153,7 @@ func main() {
 		Mode:      cli.ModeCheck,
 		Entry:     *entry,
 		Static:    *staticMode,
+		Optimize:  *optimizeFlag,
 		StepLimit: limits.StepLimit,
 	}
 	// With observability on, detection alone would leave the exported
@@ -175,6 +184,12 @@ func main() {
 	default:
 		fmt.Print(resp.Check.Summary())
 		clean = resp.Check.Clean()
+	}
+	if resp.Optimize != nil {
+		fmt.Print(resp.Optimize.Summary())
+		for _, e := range resp.Optimize.Edits {
+			fmt.Printf("  %s\n", e)
+		}
 	}
 
 	// Shadow repair: with observability on, finish the pipeline in memory

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hippocrates/internal/core"
+	"hippocrates/internal/corpus"
+	"hippocrates/internal/optimize"
+	"hippocrates/internal/pmcheck"
+)
+
+// Optimize-sweep configuration, mirroring `make optimize-smoke`
+// (internal/optimize/smoke_test.go) so BENCH_optimize.json records the
+// simulated-cost deltas of exactly the proven edit set the tier-1 gate
+// re-validates.
+const (
+	OptSweepMaxPoints = 16
+	OptSweepMaxImages = 4
+	OptSweepStepLimit = 50_000_000
+)
+
+// OptSweepTarget is one corpus program's optimize outcome: the build the
+// pass started from (Hippocrates-repaired when the original had
+// durability reports, as-given otherwise) and the simulated-cost delta
+// of the accepted edits.
+type OptSweepTarget struct {
+	Name     string `json:"name"`
+	Repaired bool   `json:"repaired_first"`
+	// Candidate accounting.
+	Candidates int `json:"candidates"`
+	Deleted    int `json:"deleted"`
+	Merged     int `json:"merged"`
+	Sunk       int `json:"sunk"`
+	Rejected   int `json:"rejected"`
+	// Simulated workload time under pmem.CostModel before the first and
+	// after the last accepted edit.
+	SimNsBefore float64 `json:"sim_ns_before"`
+	SimNsAfter  float64 `json:"sim_ns_after"`
+	SavedNs     float64 `json:"saved_ns"`
+	SavedPct    float64 `json:"saved_pct"`
+	// Proof tier: crashsim verdict identity over CrashPoints aligned
+	// points (recovery entries present), or run/report identity only.
+	CrashsimProven bool `json:"crashsim_proven"`
+	CrashPoints    int  `json:"crash_points"`
+}
+
+// OptSweepReport is the JSON document `make bench-optimize` writes to
+// BENCH_optimize.json.
+type OptSweepReport struct {
+	Benchmark string `json:"benchmark"`
+	Config    struct {
+		MaxPoints int   `json:"max_points"`
+		MaxImages int   `json:"max_images"`
+		StepLimit int64 `json:"step_limit"`
+	} `json:"config"`
+	Targets []OptSweepTarget `json:"targets"`
+	Totals  struct {
+		Targets        int     `json:"targets"`
+		TargetsEdited  int     `json:"targets_edited"`
+		Candidates     int     `json:"candidates"`
+		Applied        int     `json:"applied"`
+		Rejected       int     `json:"rejected"`
+		SimNsBefore    float64 `json:"sim_ns_before"`
+		SimNsAfter     float64 `json:"sim_ns_after"`
+		SavedNs        float64 `json:"saved_ns"`
+		SavedPct       float64 `json:"saved_pct"`
+		CrashsimProven int     `json:"crashsim_proven_targets"`
+	} `json:"totals"`
+}
+
+// MeasureOptSweep runs the optimize pass over the whole corpus —
+// repairing any build with durability reports first, exactly as the
+// smoke test does — and aggregates the simulated-cost deltas.
+func MeasureOptSweep() (*OptSweepReport, error) {
+	rep := &OptSweepReport{Benchmark: "OptimizeSweep"}
+	rep.Config.MaxPoints = OptSweepMaxPoints
+	rep.Config.MaxImages = OptSweepMaxImages
+	rep.Config.StepLimit = OptSweepStepLimit
+	for _, p := range corpus.All() {
+		mod := p.MustCompile()
+		tr, err := core.TraceModuleOpts(nil, mod, p.Entry, core.Options{StepLimit: OptSweepStepLimit})
+		if err != nil {
+			return nil, fmt.Errorf("%s: trace: %w", p.Name, err)
+		}
+		repaired := false
+		if !pmcheck.Check(tr).Clean() {
+			pr, err := core.RunAndRepair(mod, p.Entry, core.Options{StepLimit: OptSweepStepLimit})
+			if err != nil {
+				return nil, fmt.Errorf("%s: repair: %w", p.Name, err)
+			}
+			if !pr.Fixed() {
+				return nil, fmt.Errorf("%s: repair incomplete", p.Name)
+			}
+			repaired = true
+		}
+		res, err := optimize.Optimize(mod, optimize.Options{
+			Entry:     p.Entry,
+			MaxPoints: OptSweepMaxPoints,
+			MaxImages: OptSweepMaxImages,
+			StepLimit: OptSweepStepLimit,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimize: %w", p.Name, err)
+		}
+		tg := OptSweepTarget{
+			Name:           p.Name,
+			Repaired:       repaired,
+			Candidates:     res.Candidates,
+			Deleted:        res.Deleted,
+			Merged:         res.Merged,
+			Sunk:           res.Sunk,
+			Rejected:       res.Rejected,
+			SimNsBefore:    res.SimNsBefore,
+			SimNsAfter:     res.SimNsAfter,
+			SavedNs:        res.SavedNs(),
+			CrashsimProven: res.CrashsimProven,
+			CrashPoints:    res.CrashPoints,
+		}
+		if res.SimNsBefore > 0 {
+			tg.SavedPct = 100 * res.SavedNs() / res.SimNsBefore
+		}
+		rep.Targets = append(rep.Targets, tg)
+
+		rep.Totals.Targets++
+		if res.Applied() > 0 {
+			rep.Totals.TargetsEdited++
+		}
+		rep.Totals.Candidates += res.Candidates
+		rep.Totals.Applied += res.Applied()
+		rep.Totals.Rejected += res.Rejected
+		rep.Totals.SimNsBefore += res.SimNsBefore
+		rep.Totals.SimNsAfter += res.SimNsAfter
+		if res.CrashsimProven {
+			rep.Totals.CrashsimProven++
+		}
+	}
+	rep.Totals.SavedNs = rep.Totals.SimNsBefore - rep.Totals.SimNsAfter
+	if rep.Totals.SimNsBefore > 0 {
+		rep.Totals.SavedPct = 100 * rep.Totals.SavedNs / rep.Totals.SimNsBefore
+	}
+	return rep, nil
+}
+
+// WriteOptSweepJSON runs MeasureOptSweep and writes the report to path
+// as indented JSON; `make bench-optimize` drives it.
+func WriteOptSweepJSON(path string) (*OptSweepReport, error) {
+	rep, err := MeasureOptSweep()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -159,6 +159,62 @@ func TestGoldenCrashVerdictResponse(t *testing.T) {
 	checkGolden(t, "crash_publish.golden.json", runGolden(t, req))
 }
 
+// goldenOverPersist is clean under the bug finder but flushes its one
+// store twice, so an optimize request yields exactly one crashsim-proven
+// delete-flush edit — the smallest response that exercises the lints,
+// optimize, and optimized_ir wire fields all at once.
+const goldenOverPersist = `
+pm int slot;
+
+int invariant_check() {
+	if (slot < 0 || slot > 3) { return 1; }
+	return 0;
+}
+
+int crash_check(int completed) {
+	int done = completed - 1;
+	if (done < 0) { done = 0; }
+	if (done > 3) { done = 3; }
+	if (slot != done) { return 1; }
+	return 0;
+}
+
+int main() {
+	slot = 0;
+	clwb(&slot);
+	sfence();
+	pm_checkpoint();
+	int i = 1;
+	while (i <= 3) {
+		slot = i;
+		clwb(&slot);
+		clwb(&slot);
+		sfence();
+		pm_checkpoint();
+		i = i + 1;
+	}
+	return 0;
+}
+`
+
+// TestGoldenOptimizeResponse pins the optimize wire format: the candidate
+// edit documents (kind, origin, site, accepted, reason, saved_ns), the
+// optimize summary counters, the residual lints array, and the optimized
+// IR. CrashWorkers=1 keeps the crashsim proof deterministic.
+func TestGoldenOptimizeResponse(t *testing.T) {
+	req := &cli.Request{
+		Program:      "overpersist.pmc",
+		Source:       goldenOverPersist,
+		Mode:         cli.ModeCheck,
+		Optimize:     true,
+		CrashPoints:  16,
+		CrashImages:  4,
+		StepLimit:    10_000_000,
+		CrashWorkers: 1,
+	}
+	checkGolden(t, "optimize_overpersist.golden.json", runGolden(t, req))
+}
+
 // TestGoldenStableAcrossRuns re-runs the pinned repair request and
 // demands byte equality with itself — determinism independent of the
 // checked-in file, so a golden regeneration can't silently bless a

@@ -62,6 +62,13 @@ type Request struct {
 	// CrashCheck enables post-repair crash-schedule validation in repair
 	// mode (implied by crash mode).
 	CrashCheck bool `json:"crashcheck,omitempty"`
+	// Optimize runs the repair-to-optimize pass (internal/optimize) on
+	// the final module: in repair mode after a successful repair, in
+	// check mode on the program as given. Every edit is proven harmless
+	// by run/report identity plus — when the module declares recovery
+	// entries — crashsim verdict identity; CrashPoints / CrashImages
+	// bound that proof's budgets.
+	Optimize bool `json:"optimize,omitempty"`
 	// Invariant / Recovery name the recovery entries for crash
 	// validation ("" = the crashsim defaults, "-" = disabled).
 	Invariant string `json:"invariant,omitempty"`
@@ -143,6 +150,17 @@ func (q *Request) Validate() error {
 		if q.ReplayTrace != nil {
 			return fmt.Errorf("static detection does not consume a trace")
 		}
+		if q.Optimize {
+			return fmt.Errorf("optimize measures executions; it cannot be combined with static detection")
+		}
+	}
+	if q.Optimize {
+		if q.Mode == ModeCrash {
+			return fmt.Errorf("optimize applies in repair or check mode, not crash mode")
+		}
+		if q.ReplayTrace != nil {
+			return fmt.Errorf("optimize re-executes the program; it cannot consume a trace")
+		}
 	}
 	if !q.CrashCheck {
 		if q.Invariant != "" {
@@ -151,11 +169,13 @@ func (q *Request) Validate() error {
 		if q.Recovery != "" {
 			return fmt.Errorf("recovery only applies with crashcheck")
 		}
-		if q.CrashPoints != 0 {
-			return fmt.Errorf("crash_points only applies with crashcheck")
-		}
-		if q.CrashImages != 0 {
-			return fmt.Errorf("crash_images only applies with crashcheck")
+		if !q.Optimize {
+			if q.CrashPoints != 0 {
+				return fmt.Errorf("crash_points only applies with crashcheck or optimize")
+			}
+			if q.CrashImages != 0 {
+				return fmt.Errorf("crash_images only applies with crashcheck or optimize")
+			}
 		}
 		if q.NoDedup {
 			return fmt.Errorf("no_dedup only applies with crashcheck")

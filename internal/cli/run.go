@@ -10,6 +10,7 @@ import (
 	"hippocrates/internal/ir"
 	"hippocrates/internal/lang"
 	"hippocrates/internal/obs"
+	"hippocrates/internal/optimize"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/static"
 	"hippocrates/internal/trace"
@@ -24,6 +25,28 @@ type FixDoc struct {
 	HoistDepth  int      `json:"hoist_depth,omitempty"`
 	Score       int      `json:"score,omitempty"`
 	Clones      []string `json:"clones,omitempty"`
+}
+
+// LintDoc is one static over-persistence diagnostic in API form.
+type LintDoc struct {
+	// Kind is the lint class: redundant-flush, redundant-fence, or
+	// flush-after-ntstore.
+	Kind string `json:"kind"`
+	// Site locates the instruction as loc:@func:block.
+	Site string `json:"site"`
+}
+
+// lintDocs renders static lints for the wire, preserving the analyzer's
+// deterministic order.
+func lintDocs(lints []*static.Lint) []LintDoc {
+	out := make([]LintDoc, 0, len(lints))
+	for _, l := range lints {
+		out = append(out, LintDoc{
+			Kind: l.Kind.String(),
+			Site: fmt.Sprintf("%s:@%s:%s", l.Site.Loc, l.Site.Func, l.Block),
+		})
+	}
+	return out
 }
 
 // Response is the outcome of one Run, shared between the commands and
@@ -67,6 +90,20 @@ type Response struct {
 	// deliberate non-insertion) mapped to its report and heuristic
 	// decision.
 	Audit []*obs.AuditEntry `json:"audit"`
+
+	// Lints are the static analyzer's over-persistence diagnostics
+	// (redundant flush/fence, flush-after-ntstore) for the run's final
+	// module, whenever static analysis ran: static check and repair
+	// modes, and any mode with Optimize set (where they are the
+	// residue the pass could not prove removable). Always present;
+	// empty when no static analysis was involved.
+	Lints []LintDoc `json:"lints"`
+
+	// Optimize is the repair-to-optimize outcome (Request.Optimize):
+	// every candidate edit with its origin, decision, proof, and
+	// measured savings. OptimizedIR is the module after accepted edits.
+	Optimize    *optimize.Result `json:"optimize,omitempty"`
+	OptimizedIR string           `json:"optimized_ir,omitempty"`
 
 	// Crash validation outcome: the final report, plus the per-round
 	// reports of incremental revalidation (round i ran right after fix
@@ -146,7 +183,8 @@ func RunModule(q *Request, mod *ir.Module, root *obs.Span) (*Response, error) {
 	root.SetAttr("entry", q.Entry)
 	resp := &Response{
 		Mode: q.Mode, Program: q.Program, Entry: q.Entry, Static: q.Static,
-		Reports: []string{}, Audit: []*obs.AuditEntry{}, Module: mod,
+		Reports: []string{}, Audit: []*obs.AuditEntry{}, Lints: []LintDoc{},
+		Module: mod,
 	}
 	opts := q.coreOptions()
 	opts.Obs = root
@@ -174,8 +212,40 @@ func RunModule(q *Request, mod *ir.Module, root *obs.Span) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Repair-to-optimize rides after the mode's own pipeline: on the
+	// repaired module when repair succeeded, on the program as given in
+	// check mode (the proof preserves the detectors' verdicts either
+	// way, so a buggy program stays exactly as buggy).
+	if q.Optimize && (q.Mode == ModeCheck || resp.Fixed) {
+		if err := runOptimize(q, mod, root, resp); err != nil {
+			return nil, err
+		}
+	}
 	resp.Audit = append(resp.Audit, root.Recorder().AuditTrail()...)
 	return resp, nil
+}
+
+func runOptimize(q *Request, mod *ir.Module, root *obs.Span, resp *Response) error {
+	res, err := optimize.Optimize(mod, optimize.Options{
+		Entry:     q.Entry,
+		Args:      q.Args,
+		MaxPoints: q.CrashPoints,
+		MaxImages: q.CrashImages,
+		Workers:   q.CrashWorkers,
+		StepLimit: q.StepLimit,
+		Cache:     q.CrashCache,
+		Obs:       root,
+		Log:       q.CrashLog,
+	})
+	if err != nil {
+		return err
+	}
+	resp.Optimize = res
+	resp.Lints = lintDocs(res.FinalLints)
+	if res.Applied() > 0 {
+		resp.OptimizedIR = ir.Print(mod)
+	}
+	return nil
 }
 
 func runRepair(q *Request, mod *ir.Module, opts core.Options, resp *Response) error {
@@ -246,6 +316,7 @@ func runStaticRepair(q *Request, mod *ir.Module, opts core.Options, resp *Respon
 		resp.Reports = append(resp.Reports, r.String())
 	}
 	resp.Fixed = res.After.Clean()
+	resp.Lints = lintDocs(res.After.Lints)
 	if res.Fix != nil {
 		fillFixResult(resp, res.Fix)
 		resp.RepairedIR = ir.Print(mod)
@@ -276,6 +347,7 @@ func runStaticCheck(q *Request, mod *ir.Module, root *obs.Span, resp *Response) 
 		return err
 	}
 	resp.StaticCheck = res
+	resp.Lints = lintDocs(res.Lints)
 	resp.BugsBefore = len(res.Reports)
 	resp.SitesBefore = res.UniqueSites()
 	for _, r := range res.Reports {

@@ -26,7 +26,7 @@ import (
 	"hippocrates/internal/pmem"
 )
 
-//go:embed pmdk/*.pmc pclht/*.pmc memcached/*.pmc redis/*.pmc nvtree/*.pmc pmlog/*.pmc
+//go:embed pmdk/*.pmc pclht/*.pmc memcached/*.pmc redis/*.pmc nvtree/*.pmc pmlog/*.pmc overpersist/*.pmc
 var files embed.FS
 
 // FixSpecies is the expected shape of a Hippocrates fix for a known bug
@@ -199,6 +199,7 @@ func All() []*Program {
 	all = append(all, MemcachedProgram())
 	all = append(all, RedisPrograms()...)
 	all = append(all, ExtensionPrograms()...)
+	all = append(all, OverpersistPrograms()...)
 	return all
 }
 

@@ -1,0 +1,43 @@
+package corpus
+
+// OverpersistPrograms returns the over-persistence microbenchmarks:
+// clean programs (no seeded bugs, nothing for either detector to
+// report) that each carry one provably-removable flush or fence —
+// the showcase inputs for the repair-to-optimize pass in
+// internal/optimize. Each declares recovery entries so the pass can
+// prove its edits harmless by crash-schedule verdict identity, and
+// each shape targets one candidate source: doubled flush and doubled
+// fence (dynamic trace evidence), same-line flush pair (structural
+// coalesce), and the join-point fence (structural sink).
+func OverpersistPrograms() []*Program {
+	return []*Program{
+		{
+			Name:    "overpersist-double-flush",
+			Target:  "overpersist",
+			File:    "overpersist/double_flush.pmc",
+			Entry:   "main",
+			WantRet: 0,
+		},
+		{
+			Name:    "overpersist-flush-merge",
+			Target:  "overpersist",
+			File:    "overpersist/flush_merge.pmc",
+			Entry:   "main",
+			WantRet: 0,
+		},
+		{
+			Name:    "overpersist-double-fence",
+			Target:  "overpersist",
+			File:    "overpersist/double_fence.pmc",
+			Entry:   "main",
+			WantRet: 0,
+		},
+		{
+			Name:    "overpersist-sink-fence",
+			Target:  "overpersist",
+			File:    "overpersist/sink_fence.pmc",
+			Entry:   "main",
+			WantRet: 0,
+		},
+	}
+}

@@ -93,6 +93,13 @@ type Options struct {
 	// All checkpoint events are always kept; the remaining budget is
 	// spread evenly over the other events, and the pruning is logged.
 	MaxPoints int
+	// Points, when non-empty, names the exact crash points to simulate
+	// (1-based PM event indices), bypassing the stratified selection and
+	// MaxPoints. Out-of-range entries are dropped, duplicates collapse,
+	// and the list is sorted. internal/optimize uses this to crash two
+	// program variants at corresponding events (aligned by per-kind
+	// ordinal) so their verdict sets are comparable event-for-event.
+	Points []int
 	// MaxImages bounds feasible images per crash point (0 =
 	// DefaultMaxImages). Below the bound enumeration is exhaustive;
 	// above it, corner schedules (nothing evicted / everything evicted),
@@ -314,7 +321,19 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	}
 	log := append([]interp.PMEventKind(nil), probe.PMEventLog()...)
 
-	points := selectPoints(log, opts.MaxPoints, inv != nil, rec)
+	var points []int
+	if len(opts.Points) > 0 {
+		seen := make(map[int]bool, len(opts.Points))
+		for _, p := range opts.Points {
+			if p >= 1 && p <= len(log) && !seen[p] {
+				seen[p] = true
+				points = append(points, p)
+			}
+		}
+		sort.Ints(points)
+	} else {
+		points = selectPoints(log, opts.MaxPoints, inv != nil, rec)
+	}
 	rep = &Report{
 		TotalEvents: len(log), Points: len(points), PrunedPoints: len(log) - len(points),
 		PointEvents: points, DedupEnabled: !opts.NoDedup,

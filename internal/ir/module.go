@@ -285,6 +285,34 @@ func (b *Block) InsertBefore(pos, newIn *Instr) {
 	b.Instrs[idx] = newIn
 }
 
+// RemoveInstr detaches in from b, which must contain it, and returns the
+// index it occupied so InsertAt can restore it (the optimizer's apply/undo
+// protocol). The instruction keeps its fields; only the block linkage is
+// severed. Callers must not remove an instruction whose result other
+// instructions still use.
+func (b *Block) RemoveInstr(in *Instr) int {
+	idx := b.indexOf(in)
+	b.fn.dirty = true
+	copy(b.Instrs[idx:], b.Instrs[idx+1:])
+	b.Instrs[len(b.Instrs)-1] = nil
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	in.blk = nil
+	return idx
+}
+
+// InsertAt inserts in at index idx (0 ≤ idx ≤ len), the inverse of
+// RemoveInstr.
+func (b *Block) InsertAt(idx int, in *Instr) {
+	if idx < 0 || idx > len(b.Instrs) {
+		panic(fmt.Sprintf("ir: InsertAt index %d out of range in block ^%s", idx, b.Name))
+	}
+	in.blk = b
+	b.fn.dirty = true
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
 func (b *Block) indexOf(in *Instr) int {
 	for i, x := range b.Instrs {
 		if x == in {

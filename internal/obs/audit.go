@@ -20,7 +20,10 @@ type AuditEntry struct {
 	Seq int `json:"seq"`
 	// Action is one of: insert-flush, insert-flush-range, insert-fence,
 	// elide-flush, elide-fence, merge-flush, clone-subprogram,
-	// reuse-subprogram, retarget-call.
+	// reuse-subprogram, retarget-call (the fixer), or delete-flush,
+	// delete-fence, coalesce-flush, sink-fence (the optimizer; see
+	// internal/optimize — every candidate edit is recorded whether
+	// applied or rejected, with Decision saying which).
 	Action string `json:"action"`
 	// Site is the exact insertion (or reuse) site as
 	// file:func:block:index — index is the instruction's position within

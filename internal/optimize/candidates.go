@@ -1,0 +1,284 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/pmem"
+	"hippocrates/internal/static"
+	"hippocrates/internal/trace"
+)
+
+// candidate is one proposed edit before its harmlessness proof.
+type candidate struct {
+	kind    EditKind
+	in      *ir.Instr // the instruction to delete
+	fn      *ir.Func
+	partner *ir.Instr // coalesce/sink: the surviving instruction
+	origin  string    // "static-lint", "trace-evidence", "scan"
+	why     string
+}
+
+// gather proposes candidate edits from three sources, in a fixed order:
+// static lints (a machine-checked local redundancy argument), dynamic
+// trace evidence (a flush site that never transitioned a store, or a
+// fence site that never drained one, across the whole workload), and
+// structural scans (two flushes of one provably-same cache line, or two
+// fences, with no barrier between them). Every source is a heuristic —
+// the proof in Optimize is the gate — but each instruction is claimed
+// by at most one candidate so edits compose without aliasing.
+func gather(mod *ir.Module, lints []*static.Lint, tr *trace.Trace) []*candidate {
+	var out []*candidate
+	claimed := make(map[*ir.Instr]bool)
+	add := func(c *candidate) {
+		if c.in == nil || claimed[c.in] {
+			return
+		}
+		if c.partner != nil && claimed[c.partner] {
+			return
+		}
+		claimed[c.in] = true
+		out = append(out, c)
+	}
+
+	for _, l := range lints {
+		fn := mod.Func(l.Site.Func)
+		if fn == nil || fn.IsDecl() {
+			continue
+		}
+		in := fn.InstrByID(l.Site.InstrID)
+		if in == nil {
+			continue
+		}
+		switch {
+		case l.Kind == static.LintRedundantFence && in.Op == ir.OpFence:
+			add(&candidate{kind: EditDeleteFence, in: in, fn: fn, origin: "static-lint",
+				why: "static analysis proves no flushed store can be pending here on any path"})
+		case in.Op == ir.OpFlush:
+			// LintRedundantFlush and LintFlushAfterNT both delete the flush.
+			add(&candidate{kind: EditDeleteFlush, in: in, fn: fn, origin: "static-lint",
+				why: "static analysis proves the line is already flushed on every path"})
+		}
+	}
+
+	for _, ev := range traceEvidence(mod, tr) {
+		kind, why := EditDeleteFlush, fmt.Sprintf("flush transitioned no store in any of %d execution(s)", ev.count)
+		if ev.in.Op == ir.OpFence {
+			kind, why = EditDeleteFence, fmt.Sprintf("fence drained no store in any of %d execution(s)", ev.count)
+		}
+		add(&candidate{kind: kind, in: ev.in, fn: ev.fn, origin: "trace-evidence", why: why})
+	}
+
+	for _, fn := range mod.Funcs {
+		if fn.IsDecl() {
+			continue
+		}
+		for _, b := range fn.Blocks {
+			scanCoalesce(fn, b, add)
+			scanSink(fn, b, add)
+		}
+	}
+	return out
+}
+
+// scanCoalesce finds pairs of weakly-ordered flushes of the same
+// provably-resolved cache line with no fence, call, or intervening
+// barrier between them: the earlier flush's stores are still pending at
+// the later flush (nothing can have drained without a fence), so the
+// later flush covers both and the earlier one can go.
+func scanCoalesce(fn *ir.Func, b *ir.Block, add func(*candidate)) {
+	type lineKey struct {
+		root ir.Value
+		line int64
+	}
+	last := make(map[lineKey]*ir.Instr)
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpFlush:
+			if in.FlushK.Ordered() {
+				// CLFLUSH commits immediately; deleting one changes
+				// commit timing, so it never participates.
+				continue
+			}
+			root, line, ok := static.ResolveLine(in.Args[0])
+			if !ok {
+				continue
+			}
+			k := lineKey{root, line}
+			if prev := last[k]; prev != nil {
+				add(&candidate{kind: EditCoalesceFlush, in: prev, fn: fn, partner: in, origin: "scan",
+					why: "same cache line re-flushed in the same block with no fence or call between"})
+			}
+			last[k] = in
+		case ir.OpFence, ir.OpCall:
+			// A fence drains; a call may fence or flush. Both end every
+			// open pair.
+			last = make(map[lineKey]*ir.Instr)
+		}
+	}
+}
+
+// scanSink finds a fence whose drain can defer to a later covering
+// fence: either the next fence in the same block with no store, flush,
+// or call between them, or — when the fence is still open at the end of
+// a block that jumps unconditionally — a fence at the head of the
+// successor (the join-point shape: a branch arm fences early, the join
+// fences again for the other arms). Nothing observes durability in the
+// window, so the drain moves to the later fence.
+func scanSink(fn *ir.Func, b *ir.Block, add func(*candidate)) {
+	var open *ir.Instr
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpFence:
+			if open != nil {
+				add(&candidate{kind: EditSinkFence, in: open, fn: fn, partner: in, origin: "scan",
+					why: "next fence covers it: no store, flush, or call between them"})
+			}
+			open = in
+		case ir.OpStore, ir.OpNTStore, ir.OpFlush, ir.OpCall:
+			open = nil
+		case ir.OpJmp:
+			if open == nil || len(in.Succs) != 1 {
+				break
+			}
+			if f2 := leadingFence(in.Succs[0]); f2 != nil && f2 != open {
+				add(&candidate{kind: EditSinkFence, in: open, fn: fn, partner: f2, origin: "scan",
+					why: "join-point fence covers it: no store, flush, or call on the fall-through edge"})
+			}
+		}
+	}
+}
+
+// leadingFence returns the first fence of b when no store, flush, or
+// call precedes it, else nil.
+func leadingFence(b *ir.Block) *ir.Instr {
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpFence:
+			return in
+		case ir.OpStore, ir.OpNTStore, ir.OpFlush, ir.OpCall:
+			return nil
+		}
+	}
+	return nil
+}
+
+// siteEvidence aggregates a flush or fence site's dynamic behaviour
+// over the whole trace.
+type siteEvidence struct {
+	in    *ir.Instr
+	fn    *ir.Func
+	count int
+}
+
+// traceEvidence replays the trace through the pmem.Tracker state
+// machine (per-line pending store lists; weak flushes park dirty
+// stores, ordered flushes commit the line, fences drain parked stores,
+// exact overwrites collapse) and returns the flush sites that never
+// transitioned a store and the fence sites that never drained one —
+// dynamically dead persistency operations under this workload. Only
+// bare flush/fence IR instructions in defined functions qualify;
+// events produced by builtins (flush_range) resolve to call sites and
+// are skipped.
+func traceEvidence(mod *ir.Module, tr *trace.Trace) []*siteEvidence {
+	type pstore struct {
+		addr    uint64
+		size    int
+		flushed bool
+	}
+	type siteKey struct {
+		fn string
+		id int
+	}
+	type stats struct {
+		count int
+		moved bool
+	}
+	lines := make(map[uint64][]pstore)
+	sites := make(map[siteKey]*stats)
+	record := func(e *trace.Event, moved bool) {
+		k := siteKey{e.Site().Func, e.Site().InstrID}
+		s := sites[k]
+		if s == nil {
+			s = &stats{}
+			sites[k] = s
+		}
+		s.count++
+		s.moved = s.moved || moved
+	}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindStore, trace.KindNTStore:
+			line := pmem.LineOf(e.Addr)
+			list := lines[line]
+			for i := range list {
+				if list[i].addr == e.Addr && list[i].size == e.Size {
+					list = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			lines[line] = append(list, pstore{e.Addr, e.Size, e.Kind == trace.KindNTStore})
+		case trace.KindFlush:
+			line := pmem.LineOf(e.Addr)
+			moved := 0
+			if e.FlushK.Ordered() {
+				moved = len(lines[line])
+				delete(lines, line)
+			} else {
+				list := lines[line]
+				for i := range list {
+					if !list[i].flushed {
+						list[i].flushed = true
+						moved++
+					}
+				}
+			}
+			record(e, moved > 0)
+		case trace.KindFence:
+			drained := 0
+			for line, list := range lines {
+				keep := list[:0]
+				for _, st := range list {
+					if st.flushed {
+						drained++
+					} else {
+						keep = append(keep, st)
+					}
+				}
+				if len(keep) == 0 {
+					delete(lines, line)
+				} else {
+					lines[line] = keep
+				}
+			}
+			record(e, drained > 0)
+		}
+	}
+
+	var keys []siteKey
+	for k, s := range sites {
+		if !s.moved {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].fn != keys[j].fn {
+			return keys[i].fn < keys[j].fn
+		}
+		return keys[i].id < keys[j].id
+	})
+	var out []*siteEvidence
+	for _, k := range keys {
+		fn := mod.Func(k.fn)
+		if fn == nil || fn.IsDecl() {
+			continue
+		}
+		in := fn.InstrByID(k.id)
+		if in == nil || (in.Op != ir.OpFlush && in.Op != ir.OpFence) {
+			continue
+		}
+		out = append(out, &siteEvidence{in: in, fn: fn, count: sites[k].count})
+	}
+	return out
+}

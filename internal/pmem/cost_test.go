@@ -1,0 +1,111 @@
+package pmem
+
+import "testing"
+
+// TestDefaultCostModelInvariants pins the relative shape the benchmarks
+// and the optimizer's savings estimates depend on: everything
+// non-negative, PM dearer than DRAM, flush issue latency well above a
+// store, a draining fence dearer than an empty one, and a non-temporal
+// store cheaper than the store+flush it replaces.
+func TestDefaultCostModelInvariants(t *testing.T) {
+	c := DefaultCostModel()
+	fields := map[string]float64{
+		"ALUOp": c.ALUOp, "LoadDRAM": c.LoadDRAM, "StoreDRAM": c.StoreDRAM,
+		"LoadPM": c.LoadPM, "StorePM": c.StorePM, "Flush": c.Flush,
+		"FlushWriteback": c.FlushWriteback, "FenceBase": c.FenceBase,
+		"FenceDrainPerLine": c.FenceDrainPerLine, "Call": c.Call,
+	}
+	for name, v := range fields {
+		if v < 0 {
+			t.Errorf("%s = %v, want non-negative", name, v)
+		}
+	}
+	if c.LoadPM <= c.LoadDRAM {
+		t.Errorf("LoadPM %v <= LoadDRAM %v; PM reads must cost more", c.LoadPM, c.LoadDRAM)
+	}
+	if c.Flush <= c.StorePM {
+		t.Errorf("Flush %v <= StorePM %v; flush issue latency must dominate a store", c.Flush, c.StorePM)
+	}
+	if c.FenceDrainPerLine <= c.FenceBase {
+		t.Errorf("FenceDrainPerLine %v <= FenceBase %v; draining must dominate an empty fence", c.FenceDrainPerLine, c.FenceBase)
+	}
+	// NT-store vs flush ordering: persisting one line non-temporally
+	// (ntstore; fence) must be cheaper than the cached path (store;
+	// flush; fence) — the whole point of non-temporal writes.
+	nt := c.SequenceCost([]CostEvent{{CostNTStore, 0}, {CostFence, 0}})
+	cached := c.SequenceCost([]CostEvent{{CostStore, 0}, {CostFlush, 0}, {CostFence, 0}})
+	if nt >= cached {
+		t.Errorf("ntstore+fence = %v >= store+flush+fence = %v", nt, cached)
+	}
+}
+
+// TestSequenceCost prices hand-built traces and checks the exact sums,
+// so the optimizer's before/after deltas rest on tested arithmetic.
+func TestSequenceCost(t *testing.T) {
+	c := DefaultCostModel()
+	cases := []struct {
+		name string
+		evs  []CostEvent
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"store only", []CostEvent{{CostStore, 0}}, c.StorePM},
+		{
+			"persist one line",
+			[]CostEvent{{CostStore, 0}, {CostFlush, 0}, {CostFence, 0}},
+			c.StorePM + c.Flush + c.FenceBase + c.FenceDrainPerLine,
+		},
+		{
+			// The redundant re-flush of a parked line pays issue latency
+			// but adds nothing to the fence drain — exactly the waste the
+			// optimizer deletes.
+			"redundant double flush",
+			[]CostEvent{{CostStore, 0}, {CostFlush, 0}, {CostFlush, 0}, {CostFence, 0}},
+			c.StorePM + 2*c.Flush + c.FenceBase + c.FenceDrainPerLine,
+		},
+		{
+			// A fence with nothing parked pays only the issue cost.
+			"redundant fence",
+			[]CostEvent{{CostStore, 0}, {CostFlush, 0}, {CostFence, 0}, {CostFence, 0}},
+			c.StorePM + c.Flush + 2*c.FenceBase + c.FenceDrainPerLine,
+		},
+		{
+			// Two dirty lines drain at one fence: per-line stall.
+			"two lines one fence",
+			[]CostEvent{
+				{CostStore, 0}, {CostStore, 64},
+				{CostFlush, 0}, {CostFlush, 64}, {CostFence, 0},
+			},
+			2*c.StorePM + 2*c.Flush + c.FenceBase + 2*c.FenceDrainPerLine,
+		},
+		{
+			// Same-line flush coalescing in the write-pending queue: two
+			// stores to one line, two flushes, still one drain.
+			"same line coalesces",
+			[]CostEvent{
+				{CostStore, 0}, {CostFlush, 0}, {CostStore, 0}, {CostFlush, 0}, {CostFence, 0},
+			},
+			2*c.StorePM + 2*c.Flush + c.FenceBase + c.FenceDrainPerLine,
+		},
+		{
+			// CLFLUSH commits immediately: write-back at the flush, then
+			// the fence finds nothing parked. Re-CLFLUSHing a clean line
+			// pays issue latency only.
+			"clflush immediate",
+			[]CostEvent{
+				{CostStore, 0}, {CostCLFlush, 0}, {CostCLFlush, 0}, {CostFence, 0},
+			},
+			c.StorePM + 2*c.Flush + c.FlushWriteback + c.FenceBase,
+		},
+		{
+			"ntstore parks without flush",
+			[]CostEvent{{CostNTStore, 0}, {CostFence, 0}},
+			c.StorePM + c.FenceBase + c.FenceDrainPerLine,
+		},
+	}
+	for _, tc := range cases {
+		if got := c.SequenceCost(tc.evs); got != tc.want {
+			t.Errorf("%s: SequenceCost = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -54,6 +54,43 @@ int main() {
 }
 `
 
+// srcOverPersist is clean under the bug finder but flushes every store
+// twice, so an optimize request yields a non-trivial edit set that must be
+// proven by crashsim verdict identity (both recovery entries are present).
+const srcOverPersist = `
+pm int slot;
+
+int invariant_check() {
+	if (slot < 0 || slot > 6) { return 1; }
+	return 0;
+}
+
+int crash_check(int completed) {
+	int done = completed - 1;
+	if (done < 0) { done = 0; }
+	if (done > 6) { done = 6; }
+	if (slot != done) { return 1; }
+	return 0;
+}
+
+int main() {
+	slot = 0;
+	clwb(&slot);
+	sfence();
+	pm_checkpoint();
+	int i = 1;
+	while (i <= 6) {
+		slot = i;
+		clwb(&slot);
+		clwb(&slot);
+		sfence();
+		pm_checkpoint();
+		i = i + 1;
+	}
+	return 0;
+}
+`
+
 func publishReq() *cli.Request {
 	return &cli.Request{
 		Program:     "publish.pmc",
@@ -133,6 +170,80 @@ func TestResponseCacheServesByteIdentical(t *testing.T) {
 	if doc.BugsBefore == 0 || !doc.Fixed || doc.Crash == nil || !doc.Crash.Passed {
 		t.Errorf("unexpected verdict: bugs_before=%d fixed=%v crash=%+v",
 			doc.BugsBefore, doc.Fixed, doc.Crash)
+	}
+}
+
+// TestOptimizeRoundTripValidates: an optimize request on a clean
+// over-persisting program must come back schema-valid with a populated
+// optimize document — at least one flush deleted, proven by crashsim —
+// and the always-present lints array.
+func TestOptimizeRoundTripValidates(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer shutdown(t, s)
+
+	j, err := s.Submit(&cli.Request{
+		Program:     "overpersist.pmc",
+		Source:      srcOverPersist,
+		Mode:        cli.ModeCheck,
+		Optimize:    true,
+		CrashPoints: 16,
+		CrashImages: 4,
+		StepLimit:   10_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if j.State() != StateDone {
+		t.Fatalf("job: state %s, err %v", j.State(), j.Err())
+	}
+	body := j.ResponseJSON()
+	if err := ValidateResponse(body); err != nil {
+		t.Fatalf("optimize response violates schema: %v", err)
+	}
+
+	var doc struct {
+		BugsBefore int `json:"bugs_before"`
+		Lints      []struct {
+			Kind string `json:"kind"`
+			Site string `json:"site"`
+		} `json:"lints"`
+		Optimize *struct {
+			Candidates     int     `json:"candidates"`
+			Deleted        int     `json:"deleted"`
+			Rejected       int     `json:"rejected"`
+			SimBefore      float64 `json:"sim_ns_before"`
+			SimAfter       float64 `json:"sim_ns_after"`
+			CrashsimProven bool    `json:"crashsim_proven"`
+			CrashPoints    int     `json:"crash_points"`
+		} `json:"optimize"`
+		OptimizedIR string `json:"optimized_ir"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BugsBefore != 0 {
+		t.Errorf("program should be clean, got %d bugs", doc.BugsBefore)
+	}
+	if doc.Optimize == nil {
+		t.Fatal("response is missing the optimize document")
+	}
+	if doc.Optimize.Deleted < 1 {
+		t.Errorf("expected at least one deleted flush, got %+v", doc.Optimize)
+	}
+	if !doc.Optimize.CrashsimProven || doc.Optimize.CrashPoints == 0 {
+		t.Errorf("edits must be crashsim-proven: %+v", doc.Optimize)
+	}
+	if doc.Optimize.SimAfter >= doc.Optimize.SimBefore {
+		t.Errorf("no simulated-cost reduction: before %.0f, after %.0f",
+			doc.Optimize.SimBefore, doc.Optimize.SimAfter)
+	}
+	if doc.OptimizedIR == "" {
+		t.Error("accepted edits but no optimized_ir in the response")
+	}
+	// The doubled flush is the only lint; once deleted it must be gone.
+	if len(doc.Lints) != 0 {
+		t.Errorf("expected no residual lints after optimize, got %v", doc.Lints)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"hippocrates/internal/corpus"
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/lang"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/progen"
 	"hippocrates/internal/static"
@@ -91,6 +92,99 @@ func TestCorpusStaticRepairBothClean(t *testing.T) {
 				t.Errorf("repaired %s returned %d, want %d (repair did harm)", p.Entry, ret, p.WantRet)
 			}
 		})
+	}
+}
+
+// TestInterprocLintCallerContextGating covers the interprocedural lint
+// contract: a callee's redundant-flush lint survives only when every
+// caller context proves the redundancy argument (no dirty fact can be
+// live across the call). The positive case confirms agreement with the
+// dynamic side by deleting the linted flush and re-running both the
+// workload and the dynamic detector; the negative case asserts the
+// conservative suppression.
+func TestInterprocLintCallerContextGating(t *testing.T) {
+	const helper = `
+pm int cell[16];
+void persist_twice() {
+	cell[0] = 7;
+	clwb(&cell[0]);
+	clwb(&cell[0]);
+	sfence();
+}
+`
+	compile := func(src string) *ir.Module {
+		t.Helper()
+		m, err := lang.Compile("t.pmc", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	calleeLints := func(m *ir.Module) []*static.Lint {
+		t.Helper()
+		res, err := static.Analyze(m, "main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*static.Lint
+		for _, l := range res.Lints {
+			if l.Kind == static.LintRedundantFlush && l.Site.Func == "persist_twice" {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+
+	// Clean caller context: main calls the helper with nothing pending,
+	// so the helper's second clwb is redundant on every call chain.
+	clean := compile(helper + `
+int main() {
+	persist_twice();
+	pm_checkpoint();
+	return cell[0];
+}
+`)
+	lints := calleeLints(clean)
+	if len(lints) != 1 {
+		t.Fatalf("callee redundant-flush lints under a clean context = %d, want 1", len(lints))
+	}
+
+	// Dynamic agreement: deleting the linted flush must change nothing
+	// the dynamic detector or the workload can observe.
+	fn := clean.Func("persist_twice")
+	in := fn.InstrByID(lints[0].Site.InstrID)
+	if in == nil || in.Op != ir.OpFlush {
+		t.Fatalf("lint site %v does not resolve to a flush", lints[0].Site)
+	}
+	in.Block().RemoveInstr(in)
+	tr, err := core.TraceModule(clean, "main")
+	if err != nil {
+		t.Fatalf("module broken after deleting the linted flush: %v", err)
+	}
+	if dyn := pmcheck.Check(tr); !dyn.Clean() {
+		t.Errorf("dynamic detector disagrees with the lint:\n%s", dyn.Summary())
+	}
+	mach, err := interp.New(clean, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret, err := mach.Run("main"); err != nil || ret != 7 {
+		t.Errorf("workload after deletion: ret=%d err=%v, want 7", ret, err)
+	}
+
+	// Dirty caller context: main has an unflushed store live across the
+	// call, so the helper's flushes may cover it and the local
+	// redundancy argument no longer holds — the lint must be dropped.
+	dirty := compile(helper + `
+int main() {
+	cell[1] = 1;
+	persist_twice();
+	pm_checkpoint();
+	return cell[0];
+}
+`)
+	if lints := calleeLints(dirty); len(lints) != 0 {
+		t.Errorf("callee redundant-flush lints under a dirty context = %d, want 0 (suppressed)", len(lints))
 	}
 }
 

@@ -315,7 +315,7 @@ func (fa *funcAnalysis) transfer(st factState, in *ir.Instr, emit bool) bool {
 		fa.applyFlush(st, in, in.Args[0], nil, in.FlushK.Ordered(), emit)
 
 	case ir.OpFence:
-		if emit && fa.fn == fa.az.entry {
+		if emit {
 			drains := false
 			for _, bits := range st {
 				if bits&stFlushed != 0 {
@@ -324,7 +324,11 @@ func (fa *funcAnalysis) transfer(st factState, in *ir.Instr, emit bool) bool {
 				}
 			}
 			if !drains {
-				fa.lint(LintRedundantFence, in)
+				// Locally nothing awaits this fence. A caller context with a
+				// flushed fact would be drained here, and one with a dirty
+				// fact changes classification (dirty → dirty-fenced), so the
+				// lint survives only when every caller context excludes both.
+				fa.lint(LintRedundantFence, in, true, true)
 			}
 		}
 		for f, bits := range st {
@@ -377,6 +381,17 @@ func (fa *funcAnalysis) transferCall(st factState, in *ir.Instr, emit bool) bool
 	fenceMay := fa.az.fenceMay[callee]
 	fenceMust := fa.az.fenceMust[callee]
 	fr := fa.frameOf(in)
+
+	if emit {
+		// Record the caller-visible persistency context at this call for
+		// the top-down lint-context pass.
+		var c callCtx
+		for _, bits := range st {
+			c.dirty = c.dirty || bits&(stDirty|stDirtyFenced) != 0
+			c.flushed = c.flushed || bits&stFlushed != 0
+		}
+		fa.sum.mergeCallCtx(callee, c)
+	}
 
 	// Push the caller's live facts through the callee's summary.
 	for f, bits := range st {
@@ -662,7 +677,7 @@ func (fa *funcAnalysis) applyFlush(st factState, in *ir.Instr, ptr ir.Value, len
 			delete(st, f)
 		case cov == covMust:
 			if emit && f.nt && bits == stFlushed {
-				fa.lint(LintFlushAfterNT, in)
+				fa.lint(LintFlushAfterNT, in, true, false)
 			}
 			st[f] = stFlushed
 			f.addFlushSite(fr)
@@ -680,21 +695,21 @@ func (fa *funcAnalysis) applyFlush(st factState, in *ir.Instr, ptr ir.Value, len
 			objs, anyObj := fa.objsOf(ptr)
 			fa.sum.addFlushEffect(flushEffect{objs: objs, all: anyObj, site: fr})
 		}
-		// Redundant-flush lint: only in the entry function (no caller
-		// context can revive it) and only for flushes whose target the
-		// analysis fully tracks.
-		if fa.fn == fa.az.entry {
-			_, anyObj := fa.objsOf(ptr)
-			if !anyObj && fa.az.an.MayPointToPM(ptr) {
-				if (ordered && !coveredAny) || (!ordered && !coveredDirty) {
-					fa.lint(LintRedundantFlush, in)
-				}
+		// Redundant-flush lint: only for flushes whose target the analysis
+		// fully tracks. In a callee the flush may still cover a caller's
+		// dirty fact (a may-flush effect), so the lint survives only when
+		// every caller context excludes dirty facts; in the entry function
+		// there is no caller context and the local argument is complete.
+		_, anyObj := fa.objsOf(ptr)
+		if !anyObj && fa.az.an.MayPointToPM(ptr) {
+			if (ordered && !coveredAny) || (!ordered && !coveredDirty) {
+				fa.lint(LintRedundantFlush, in, true, false)
 			}
 		}
 	}
 }
 
-func (fa *funcAnalysis) lint(kind LintKind, in *ir.Instr) {
+func (fa *funcAnalysis) lint(kind LintKind, in *ir.Instr, needNoDirty, needNoFlushed bool) {
 	fr := fa.frameOf(in)
 	for _, l := range fa.sum.lints {
 		if l.Kind == kind && l.Site.Func == fr.Func && l.Site.InstrID == fr.InstrID {
@@ -705,7 +720,10 @@ func (fa *funcAnalysis) lint(kind LintKind, in *ir.Instr) {
 	if b := in.Block(); b != nil {
 		blk = b.Name
 	}
-	fa.sum.lints = append(fa.sum.lints, &Lint{Kind: kind, Site: fr, Block: blk})
+	fa.sum.lints = append(fa.sum.lints, &Lint{
+		Kind: kind, Site: fr, Block: blk,
+		needNoDirtyCtx: needNoDirty, needNoFlushedCtx: needNoFlushed,
+	})
 }
 
 // internStoreFact creates (or returns) the fact for a store-like
@@ -855,6 +873,22 @@ func (az *analyzer) resolveRange(ptr ir.Value, size int64) (ir.Value, int64, int
 		}
 	}
 	return nil, 0, 0, false
+}
+
+// ResolveLine resolves ptr to its (root allocation, cache-line index)
+// when ptr is a compile-time-constant offset from a line-aligned PM root
+// — a standalone entry point into the resolveRange walk for passes
+// outside the analyzer fixpoint. internal/optimize uses it to prove two
+// flushes target the same cache line before coalescing them; two
+// pointers resolve to the same line exactly when both roots and both
+// indices are equal.
+func ResolveLine(ptr ir.Value) (root ir.Value, line int64, ok bool) {
+	az := &analyzer{escapeCache: make(map[*ir.Instr]bool)}
+	r, lo, _, ok := az.resolveRange(ptr, 1)
+	if !ok {
+		return nil, 0, false
+	}
+	return r, lo, true
 }
 
 // slotEscapes reports whether an alloca's address is used anywhere other

@@ -17,6 +17,15 @@ func AnalyzeObs(mod *ir.Module, entry string, sp *obs.Span) (*Result, error) {
 		asp.Add("static.funcs", int64(res.Funcs))
 		asp.Add("static.reports", int64(len(res.Reports)))
 		asp.Add("static.lints", int64(len(res.Lints)))
+		var byKind [3]int64
+		for _, l := range res.Lints {
+			if int(l.Kind) < len(byKind) {
+				byKind[l.Kind]++
+			}
+		}
+		asp.Add("static.lints.redundant_flush", byKind[LintRedundantFlush])
+		asp.Add("static.lints.redundant_fence", byKind[LintRedundantFence])
+		asp.Add("static.lints.flush_after_nt", byKind[LintFlushAfterNT])
 	}
 	return res, err
 }

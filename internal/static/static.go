@@ -59,11 +59,21 @@ func (k LintKind) String() string {
 	return fmt.Sprintf("lint(%d)", int(k))
 }
 
-// Lint is one performance diagnostic at a static site.
+// Lint is one performance diagnostic at a static site. Lints are emitted
+// in every analyzed function, not just the entry: a callee lint survives
+// only when no caller context can revive the instruction (the top-down
+// context pass proves the relevant persistency states absent at every
+// call chain from the entry).
 type Lint struct {
 	Kind  LintKind
 	Site  trace.Frame
 	Block string
+
+	// needNoDirtyCtx / needNoFlushedCtx are the caller-context conditions
+	// under which the local redundancy argument holds; the context pass
+	// drops the lint when a caller may present the named state.
+	needNoDirtyCtx   bool
+	needNoFlushedCtx bool
 }
 
 func (l *Lint) String() string {
@@ -268,8 +278,38 @@ func Analyze(mod *ir.Module, entry string) (*Result, error) {
 		return stackKey(a.Stack) < stackKey(b.Stack)
 	})
 
+	// Top-down lint-context pass: propagate, entry-down over the call
+	// graph, whether some chain of calls may reach a function while a
+	// caller fact is dirty or flushed. ctx(f) joins, over every call site
+	// g→f, the caller's local context at the call with the caller's own
+	// incoming context (a caller fact live across g is conservatively
+	// assumed live at every call g makes). Bits only rise, so the fixpoint
+	// is the least one regardless of iteration order.
+	ctx := make(map[*ir.Func]callCtx, len(az.sums))
+	for changed := true; changed; {
+		changed = false
+		for fn, s := range az.sums {
+			base := ctx[fn]
+			for callee, c := range s.calls {
+				nc := ctx[callee].or(c).or(base)
+				if nc != ctx[callee] {
+					ctx[callee] = nc
+					changed = true
+				}
+			}
+		}
+	}
 	for _, s := range az.sums {
-		res.Lints = append(res.Lints, s.lints...)
+		c := ctx[s.fn]
+		for _, l := range s.lints {
+			if l.needNoDirtyCtx && c.dirty {
+				continue
+			}
+			if l.needNoFlushedCtx && c.flushed {
+				continue
+			}
+			res.Lints = append(res.Lints, l)
+		}
 	}
 	sort.Slice(res.Lints, func(i, j int) bool {
 		a, b := res.Lints[i], res.Lints[j]

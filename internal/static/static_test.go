@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hippocrates/internal/lang"
+	"hippocrates/internal/obs"
 	"hippocrates/internal/pmem"
 	"hippocrates/internal/static"
 )
@@ -363,6 +364,51 @@ int main() {
 	}
 	if found != 1 {
 		t.Errorf("flush-after-ntstore lints = %d, want 1\n%s", found, res.Summary())
+	}
+}
+
+// TestLintCountersPerKind checks that AnalyzeObs splits the aggregate
+// static.lints counter by lint kind.
+func TestLintCountersPerKind(t *testing.T) {
+	m, err := lang.Compile("t.pmc", `
+pm int cell[16];
+int main() {
+	cell[0] = 7;
+	clwb(&cell[0]);
+	clwb(&cell[0]);
+	sfence();
+	sfence();
+	ntstore(&cell[1], 9);
+	clwb(&cell[1]);
+	sfence();
+	pm_checkpoint();
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	sp := rec.StartSpan("test")
+	res, err := static.AnalyzeObs(m, "main", sp)
+	sp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flush after the NT store draws both the flush-after-ntstore
+	// lint and a redundant-flush lint (it parks nothing either way).
+	want := map[string]int64{
+		"static.lints.redundant_flush": 2,
+		"static.lints.redundant_fence": 1,
+		"static.lints.flush_after_nt":  1,
+	}
+	for name, n := range want {
+		if got := rec.Counter(name); got != n {
+			t.Errorf("%s = %d, want %d\n%s", name, got, n, res.Summary())
+		}
+	}
+	if got := rec.Counter("static.lints"); got != int64(len(res.Lints)) {
+		t.Errorf("static.lints = %d, want %d (the aggregate stays)", got, len(res.Lints))
 	}
 }
 

@@ -43,8 +43,30 @@ type summary struct {
 	// call graph to the entry.
 	reports map[string]*report
 
-	// lints are function-local performance diagnostics.
+	// lints are function-local performance diagnostics. They are emitted
+	// for every function and filtered against caller contexts (calls,
+	// below) after the bottom-up pass.
 	lints []*Lint
+
+	// calls records, per defined callee, the join over this function's
+	// call sites of the caller-visible persistency context: whether some
+	// live fact may be dirty (or dirty-fenced) or flushed at the call.
+	// The top-down context pass in Analyze propagates these entry-down to
+	// decide which callee lints no caller context can revive.
+	calls map[*ir.Func]callCtx
+}
+
+// callCtx is the caller-side persistency context observed at a call: may
+// any live fact be dirty/dirty-fenced, may any be flushed (awaiting a
+// fence)? Bits only rise; over-approximating true suppresses lints, which
+// is the sound direction.
+type callCtx struct {
+	dirty   bool
+	flushed bool
+}
+
+func (c callCtx) or(o callCtx) callCtx {
+	return callCtx{dirty: c.dirty || o.dirty, flushed: c.flushed || o.flushed}
 }
 
 // flushEffect is one may-flush a caller observes through a call.
@@ -88,7 +110,12 @@ func newSummary(fn *ir.Func) *summary {
 		ckpts:   make(map[string][]trace.Frame),
 		exit:    make(map[*fact]stateBits),
 		reports: make(map[string]*report),
+		calls:   make(map[*ir.Func]callCtx),
 	}
+}
+
+func (s *summary) mergeCallCtx(callee *ir.Func, c callCtx) {
+	s.calls[callee] = s.calls[callee].or(c)
 }
 
 func (s *summary) addCkpt(chain []trace.Frame) {
