@@ -20,12 +20,16 @@ agreement:
 # metrics-smoke repairs testdata/metrics_smoke.pmc with every telemetry
 # flag on and validates the exported JSON against the schemas checked in
 # under internal/obs/schema/ (plus pipeline-coverage and fix-count checks
-# in TestValidateSmokeArtifacts).
+# in TestValidateSmokeArtifacts). It then gates the service telemetry:
+# the Prometheus writer/linter suite, the golden test pinning the exact
+# /metrics exposition format, and flight-recorder schema validation.
 metrics-smoke:
 	@dir=$$(mktemp -d) && \
 	$(GO) run ./cmd/hippocrates -metrics $$dir/metrics.json -spans $$dir/spans.json -audit testdata/metrics_smoke.pmc >$$dir/out.txt && \
 	OBS_SMOKE_DIR=$$dir $(GO) test ./internal/obs/ -run TestValidateSmokeArtifacts -count=1; \
 	status=$$?; rm -rf $$dir; exit $$status
+	$(GO) test ./internal/obs/ -run 'TestWriteProm|TestLintProm|TestPromName' -count=1
+	$(GO) test ./internal/server/ -run 'TestPromGolden|TestFlightRecorder' -count=1
 
 # crash-smoke proves the crash-injection validation engine end to end on
 # testdata/crash_smoke.pmc: the buggy build must FAIL `pmvm -crash`
@@ -51,8 +55,10 @@ optimize-smoke:
 
 # server-smoke boots hippocratesd on an ephemeral port, round-trips one
 # buggy corpus program (repair + crash validation), schema-validates the
-# response and /metrics against internal/server/schema/, and proves an
-# identical resubmit is served byte-identically from the response cache.
+# response, /metrics.json, and the flight recorder against
+# internal/server/schema/, lints the Prometheus /metrics exposition,
+# checks trace-ID propagation, and proves an identical resubmit is served
+# byte-identically from the response cache.
 server-smoke:
 	$(GO) run ./cmd/hippocratesd -smoke -quiet
 
@@ -72,8 +78,9 @@ bench:
 	BENCH_CRASHSIM_OUT=$(CURDIR)/BENCH_crashsim.json $(GO) test -run '^TestWriteCrashSweepJSON$$' -count=1 -v ./internal/bench/
 
 # bench-server replays the crashsim-able corpus (cold + warm rounds) against
-# an in-process daemon and writes throughput/latency/speedup to
-# BENCH_server.json.
+# an in-process daemon and writes throughput/latency/speedup, per-round
+# cache hit ratios, and the per-round time series (throughput + daemon
+# queue depth) to BENCH_server.json.
 bench-server:
 	$(GO) run ./cmd/hippocratesd -selftest -quiet -bench-out $(CURDIR)/BENCH_server.json
 

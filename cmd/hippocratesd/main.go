@@ -23,14 +23,21 @@
 //	-timeout DUR      default per-job wall-clock budget (default 60s)
 //	-max-timeout DUR  ceiling on requested job timeouts (default 5m)
 //	-steplimit N      default instruction budget per interpreter run
+//	-pprof HOST:PORT  serve net/http/pprof on a separate listener
+//	                  (default off; bind loopback — it is unauthenticated)
+//	-track-allocs     per-span allocation tracking on every job, so
+//	                  /metrics serves per-phase alloc totals (overhead:
+//	                  two ReadMemStats per span)
 //	-concurrency N    -selftest client workers (default 8)
 //	-bench-out FILE   -selftest report path (default BENCH_server.json)
 //	-quiet            suppress the per-job log line
 //
 // API: POST /api/v1/repair (synchronous), POST /api/v1/jobs (async 202),
-// GET /api/v1/jobs/{id}, GET /api/v1/jobs/{id}/spans, GET /metrics,
-// GET /healthz. A full queue answers 429 + Retry-After; draining answers
-// 503.
+// GET /api/v1/jobs/{id}, GET /api/v1/jobs/{id}/spans,
+// GET /api/v1/debug/flightrecorder, GET /metrics (Prometheus text),
+// GET /metrics.json, GET /healthz. Every submit echoes X-Trace-Id
+// (inbound X-Trace-Id / W3C traceparent, or generated). A full queue
+// answers 429 + Retry-After; draining answers 503 + Retry-After.
 package main
 
 import (
@@ -41,11 +48,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hippocrates/internal/obs"
 	"hippocrates/internal/server"
 	"hippocrates/internal/server/loadgen"
 )
@@ -58,6 +68,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-job wall-clock budget (0 = 60s)")
 	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on requested job timeouts (0 = 5m)")
 	stepLimit := flag.Int64("steplimit", 0, "default instruction budget per interpreter run (0 = 100M)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+	trackAllocs := flag.Bool("track-allocs", false, "per-span allocation tracking (per-phase alloc totals on /metrics)")
 	selftest := flag.Bool("selftest", false, "replay the corpus against an in-process daemon and write the bench report")
 	smoke := flag.Bool("smoke", false, "boot, round-trip one corpus program, schema-validate, exit")
 	concurrency := flag.Int("concurrency", 8, "client workers for -selftest")
@@ -72,6 +84,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		StepLimit:      *stepLimit,
+		TrackAllocs:    *trackAllocs,
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -84,7 +97,7 @@ func main() {
 	case *smoke:
 		err = runSmoke(cfg)
 	default:
-		err = serve(cfg, *addr)
+		err = serve(cfg, *addr, *pprofAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hippocratesd:", err)
@@ -93,12 +106,24 @@ func main() {
 }
 
 // serve runs the daemon until SIGTERM/SIGINT, then drains: accepted jobs
-// finish, new submissions get 503, and the listener closes last.
-func serve(cfg server.Config, addr string) error {
+// finish, new submissions get 503, and the listener closes last. A
+// non-empty pprofAddr serves the profiler on its own listener so the API
+// port never exposes it.
+func serve(cfg server.Config, addr, pprofAddr string) error {
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: pprofMux()}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errCh <- fmt.Errorf("pprof listener: %w", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "hippocratesd: pprof on %s\n", pprofAddr)
+	}
 	go func() {
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errCh <- err
@@ -119,7 +144,23 @@ func serve(cfg server.Config, addr string) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
+	if pprofSrv != nil {
+		pprofSrv.Shutdown(ctx)
+	}
 	return httpSrv.Shutdown(ctx)
+}
+
+// pprofMux is the explicit profiler mux — the same handlers the
+// net/http/pprof blank import would hang on DefaultServeMux, but on a
+// dedicated mux for a dedicated listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // boot starts an in-process daemon on an ephemeral port for the selftest
@@ -159,10 +200,10 @@ func runSelftest(cfg server.Config, concurrency int, benchOut string) error {
 	}
 	fmt.Printf("hippocratesd: selftest: %d targets x2 rounds at concurrency %d\n",
 		rep.Targets, rep.Concurrency)
-	fmt.Printf("hippocratesd: cold: %.1f jobs/s (p50 %.1f ms, p99 %.1f ms)\n",
-		rep.Cold.Throughput, rep.Cold.P50MS, rep.Cold.P99MS)
-	fmt.Printf("hippocratesd: warm: %.1f jobs/s (p50 %.1f ms, p99 %.1f ms), %.1fx speedup, hit ratio %.2f\n",
-		rep.Warm.Throughput, rep.Warm.P50MS, rep.Warm.P99MS, rep.WarmSpeedup, rep.CacheHitRatio)
+	fmt.Printf("hippocratesd: cold: %.1f jobs/s (p50 %.1f ms, p99 %.1f ms), hit ratio %.2f\n",
+		rep.Cold.Throughput, rep.Cold.P50MS, rep.Cold.P99MS, rep.Cold.HitRatio)
+	fmt.Printf("hippocratesd: warm: %.1f jobs/s (p50 %.1f ms, p99 %.1f ms), %.1fx speedup, hit ratio %.2f (aggregate %.2f)\n",
+		rep.Warm.Throughput, rep.Warm.P50MS, rep.Warm.P99MS, rep.WarmSpeedup, rep.Warm.HitRatio, rep.CacheHitRatio)
 	fmt.Printf("hippocratesd: wrote %s\n", benchOut)
 	if rep.Warm.CacheHits == 0 {
 		return fmt.Errorf("selftest: warm round hit the response cache 0 times")
@@ -175,9 +216,12 @@ func runSelftest(cfg server.Config, concurrency int, benchOut string) error {
 
 // runSmoke boots the daemon, round-trips one buggy corpus program with
 // crash validation on, and schema-validates everything the API serves:
-// the repair response, the cache-hit replay (must be byte-identical), and
-// /metrics (must show a non-zero cache hit ratio). It is the engine
-// behind `make server-smoke`.
+// the repair response, the cache-hit replay (must be byte-identical),
+// trace-ID propagation (the supplied X-Trace-Id must come back on the
+// submit and reappear in the flight recorder), the Prometheus /metrics
+// exposition (content type + linter + the families a dashboard needs),
+// /metrics.json (must show a non-zero cache hit ratio), and the flight
+// recorder. It is the engine behind `make server-smoke`.
 func runSmoke(cfg server.Config) error {
 	srv, base, stop, err := boot(cfg)
 	if err != nil {
@@ -205,12 +249,16 @@ func runSmoke(cfg server.Config) error {
 	}
 	client := &http.Client{Timeout: 2 * time.Minute}
 
-	first, hdr1, err := postOnce(client, base, body)
+	const traceID = "smoke-trace-0001"
+	first, hdr1, err := postOnce(client, base, body, traceID)
 	if err != nil {
 		return err
 	}
 	if hdr1.Get("X-Hippocrates-Cache") != "miss" {
 		return fmt.Errorf("smoke: first submit was not a cache miss (%q)", hdr1.Get("X-Hippocrates-Cache"))
+	}
+	if got := hdr1.Get(server.TraceHeader); got != traceID {
+		return fmt.Errorf("smoke: submit did not echo the inbound trace ID (got %q, want %q)", got, traceID)
 	}
 	if err := server.ValidateResponse(first); err != nil {
 		return fmt.Errorf("smoke: response does not match schema/response.schema.json: %w", err)
@@ -243,7 +291,7 @@ func runSmoke(cfg server.Config) error {
 	fmt.Printf("hippocratesd: smoke: %s repaired (%d bug(s), %d audit entries, %d crash schedule(s) pass)\n",
 		req.Program, doc.BugsBefore, len(doc.Audit), doc.Crash.Schedules)
 
-	second, hdr2, err := postOnce(client, base, body)
+	second, hdr2, err := postOnce(client, base, body, "")
 	if err != nil {
 		return err
 	}
@@ -252,6 +300,9 @@ func runSmoke(cfg server.Config) error {
 	}
 	if string(first) != string(second) {
 		return fmt.Errorf("smoke: cached response differs from the original (%d vs %d bytes)", len(first), len(second))
+	}
+	if got := hdr2.Get(server.TraceHeader); got == "" || got == traceID {
+		return fmt.Errorf("smoke: resubmit trace ID %q should be fresh, not empty or the first request's", got)
 	}
 	fmt.Println("hippocratesd: smoke: identical resubmit served byte-identically from the response cache")
 
@@ -288,7 +339,36 @@ func runSmoke(cfg server.Config) error {
 	}
 	fmt.Printf("hippocratesd: smoke: span tree for %s covers the full pipeline\n", jobID)
 
-	metricsResp, err := client.Get(base + "/metrics")
+	// The Prometheus exposition: right content type, passes the linter,
+	// and carries the families a dashboard would actually scrape.
+	promResp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	prom, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if ct := promResp.Header.Get("Content-Type"); ct != server.PromContentType {
+		return fmt.Errorf("smoke: /metrics content type %q, want %q", ct, server.PromContentType)
+	}
+	if err := obs.LintProm(prom); err != nil {
+		return fmt.Errorf("smoke: /metrics fails the exposition linter: %w", err)
+	}
+	for _, want := range []string{
+		"hippocratesd_queue_depth{",
+		"hippocratesd_phase_latency_ns{",
+		"hippocratesd_jobs_total{",
+		"hippocratesd_cache_events_total{",
+	} {
+		if !strings.Contains(string(prom), want) {
+			return fmt.Errorf("smoke: /metrics exposition is missing %q", want)
+		}
+	}
+	fmt.Printf("hippocratesd: smoke: /metrics exposition lints clean (%d bytes)\n", len(prom))
+
+	metricsResp, err := client.Get(base + "/metrics.json")
 	if err != nil {
 		return err
 	}
@@ -298,7 +378,7 @@ func runSmoke(cfg server.Config) error {
 		return err
 	}
 	if err := server.ValidateMetrics(metrics); err != nil {
-		return fmt.Errorf("smoke: /metrics does not match schema/metrics.schema.json: %w", err)
+		return fmt.Errorf("smoke: /metrics.json does not match schema/metrics.schema.json: %w", err)
 	}
 	var m struct {
 		Cache struct {
@@ -313,21 +393,61 @@ func runSmoke(cfg server.Config) error {
 		return err
 	}
 	if m.Cache.HitRatio <= 0 {
-		return fmt.Errorf("smoke: /metrics cache hit ratio is %v, want > 0", m.Cache.HitRatio)
+		return fmt.Errorf("smoke: /metrics.json cache hit ratio is %v, want > 0", m.Cache.HitRatio)
 	}
 	if m.Jobs.Failed != 0 {
-		return fmt.Errorf("smoke: /metrics reports %d failed job(s)", m.Jobs.Failed)
+		return fmt.Errorf("smoke: /metrics.json reports %d failed job(s)", m.Jobs.Failed)
 	}
-	fmt.Printf("hippocratesd: smoke: /metrics valid (hit ratio %.2f, %d job(s) completed)\n",
+	fmt.Printf("hippocratesd: smoke: /metrics.json valid (hit ratio %.2f, %d job(s) completed)\n",
 		m.Cache.HitRatio, m.Jobs.Completed)
+
+	// The flight recorder must have retained the job — one completed job
+	// always ranks among the N slowest — under the trace ID we supplied.
+	frResp, err := client.Get(base + "/api/v1/debug/flightrecorder")
+	if err != nil {
+		return err
+	}
+	fr, err := io.ReadAll(frResp.Body)
+	frResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := server.ValidateFlightRecorder(fr); err != nil {
+		return fmt.Errorf("smoke: flight recorder does not match schema/flightrecorder.schema.json: %w", err)
+	}
+	var frDoc struct {
+		Slowest []struct {
+			JobID   string `json:"job_id"`
+			TraceID string `json:"trace_id"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(fr, &frDoc); err != nil {
+		return err
+	}
+	if len(frDoc.Slowest) == 0 {
+		return fmt.Errorf("smoke: flight recorder retained no slow jobs after a completed job")
+	}
+	if frDoc.Slowest[0].TraceID != traceID {
+		return fmt.Errorf("smoke: flight recorder trace ID %q, want %q", frDoc.Slowest[0].TraceID, traceID)
+	}
+	fmt.Printf("hippocratesd: smoke: flight recorder retained %s under trace %s\n",
+		frDoc.Slowest[0].JobID, frDoc.Slowest[0].TraceID)
 	fmt.Println("hippocratesd: smoke: OK")
 	return nil
 }
 
-// postOnce submits one synchronous repair and returns body + headers.
-func postOnce(client *http.Client, base string, body []byte) ([]byte, http.Header, error) {
-	resp, err := client.Post(base+"/api/v1/repair", "application/json",
-		bytesReader(body))
+// postOnce submits one synchronous repair (under the given trace ID when
+// non-empty) and returns body + headers.
+func postOnce(client *http.Client, base string, body []byte, traceID string) ([]byte, http.Header, error) {
+	httpReq, err := http.NewRequest(http.MethodPost, base+"/api/v1/repair", bytesReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		httpReq.Header.Set(server.TraceHeader, traceID)
+	}
+	resp, err := client.Do(httpReq)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,152 @@
+package obs
+
+import "testing"
+
+// TestQuantileEdgeCases pins Histogram.Quantile where estimation gets no
+// slack: empty and single-sample histograms, and the q=0 / q=1 extremes,
+// which must be exact (the observed Min and Max).
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram: Quantile(0.5) = %d, want 0", got)
+	}
+	empty := &Histogram{}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty histogram: Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	single := &Histogram{}
+	single.observe(37)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got != 37 {
+			t.Errorf("single sample: Quantile(%v) = %d, want 37", q, got)
+		}
+	}
+
+	h := &Histogram{}
+	for _, v := range []int64{3, 5, 900, 17, 1} {
+		h.observe(v)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want observed min 1", got)
+	}
+	if got := h.Quantile(1); got != 900 {
+		t.Errorf("Quantile(1) = %d, want observed max 900", got)
+	}
+	// Out-of-range q clamps to the extremes instead of misindexing.
+	if got := h.Quantile(-3); got != 1 {
+		t.Errorf("Quantile(-3) = %d, want 1", got)
+	}
+	if got := h.Quantile(42); got != 900 {
+		t.Errorf("Quantile(42) = %d, want 900", got)
+	}
+	// Interior quantiles stay within the bucket's factor-of-two bound.
+	if got := h.Quantile(0.5); got < 5 || got > 9 {
+		t.Errorf("Quantile(0.5) = %d, want within [5,9] (bucket bound of 5)", got)
+	}
+
+	// Negative observations land in bucket 0 whose bound clamps to Min.
+	neg := &Histogram{}
+	neg.observe(-10)
+	neg.observe(4)
+	if got := neg.Quantile(0); got != -10 {
+		t.Errorf("Quantile(0) with negatives = %d, want -10", got)
+	}
+}
+
+// TestGaugeSetAndRead covers the gauge primitive, including the nil
+// recorder no-op.
+func TestGaugeSetAndRead(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.SetGauge("g", 5) // must not panic
+	if _, ok := nilRec.Gauge("g"); ok {
+		t.Error("nil recorder claims a gauge")
+	}
+	if nilRec.Gauges() != nil {
+		t.Error("nil recorder returned a gauge map")
+	}
+
+	r := New()
+	if _, ok := r.Gauge("depth"); ok {
+		t.Error("unset gauge reported as present")
+	}
+	r.SetGauge("depth", 7)
+	r.SetGauge("depth", 3) // levels overwrite, never accumulate
+	if v, ok := r.Gauge("depth"); !ok || v != 3 {
+		t.Errorf("gauge = %d,%v, want 3,true", v, ok)
+	}
+	if got := r.Gauges()["depth"]; got != 3 {
+		t.Errorf("Gauges() = %d, want 3", got)
+	}
+}
+
+// TestMergeSemantics pins Merge's per-kind contract: counters SUM,
+// gauges are LAST-WRITE-WINS (the source overwrites), histograms fold.
+func TestMergeSemantics(t *testing.T) {
+	dst := New()
+	dst.Add("jobs", 2)
+	dst.SetGauge("depth", 9)
+	dst.SetGauge("only_dst", 1)
+	dst.Observe("lat", 10)
+
+	src := New()
+	src.Add("jobs", 3)
+	src.SetGauge("depth", 4)
+	src.SetGauge("only_src", 8)
+	src.Observe("lat", 1000)
+
+	dst.Merge(src)
+
+	if got := dst.Counter("jobs"); got != 5 {
+		t.Errorf("counter merged to %d, want sum 5", got)
+	}
+	if v, _ := dst.Gauge("depth"); v != 4 {
+		t.Errorf("gauge merged to %d, want last-write 4 (not 13)", v)
+	}
+	if v, _ := dst.Gauge("only_dst"); v != 1 {
+		t.Errorf("gauge absent from src was clobbered: %d", v)
+	}
+	if v, ok := dst.Gauge("only_src"); !ok || v != 8 {
+		t.Errorf("gauge new in src = %d,%v, want 8,true", v, ok)
+	}
+	h := dst.Histograms()["lat"]
+	if h.Count != 2 || h.Sum != 1010 || h.Min != 10 || h.Max != 1000 {
+		t.Errorf("histogram merged to %+v", h)
+	}
+
+	// Merging again re-applies: counters keep summing, gauges stay at the
+	// source's level — the asymmetry that makes the semantics explicit.
+	dst.Merge(src)
+	if got := dst.Counter("jobs"); got != 8 {
+		t.Errorf("second merge: counter = %d, want 8", got)
+	}
+	if v, _ := dst.Gauge("depth"); v != 4 {
+		t.Errorf("second merge: gauge = %d, want 4", v)
+	}
+
+	// An empty source histogram must not disturb the destination's Min.
+	src2 := New()
+	src2.Observe("other", 1)
+	dst.Merge(src2)
+	if h := dst.Histograms()["lat"]; h.Min != 10 {
+		t.Errorf("empty-histogram merge disturbed Min: %+v", h)
+	}
+}
+
+// TestMergedGaugesExport: gauges survive the merge into the -metrics JSON
+// export (the path hippocratesd's aggregate recorder takes).
+func TestMergedGaugesExport(t *testing.T) {
+	agg := New()
+	job := New()
+	job.SetGauge("job.queue_wait_ns", 123)
+	agg.Merge(job)
+	data, err := agg.MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(data); err != nil {
+		t.Fatalf("metrics with gauges violate schema: %v", err)
+	}
+}

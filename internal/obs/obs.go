@@ -37,6 +37,7 @@ type Recorder struct {
 	epoch    time.Time
 	spans    []*Span
 	counters map[string]int64
+	gauges   map[string]int64
 	hists    map[string]*Histogram
 	audit    []*AuditEntry
 	allocs   bool
@@ -47,6 +48,7 @@ func New() *Recorder {
 	return &Recorder{
 		epoch:    time.Now(),
 		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -199,6 +201,47 @@ func (r *Recorder) Counter(name string) int64 {
 	return r.counters[name]
 }
 
+// SetGauge records a point-in-time level (queue depth, bytes in use,
+// jobs in flight). Unlike a counter, a gauge is not additive: Merge
+// overwrites the destination's gauge with the source's (last write wins),
+// because a level sampled later supersedes one sampled earlier.
+func (r *Recorder) SetGauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]int64)
+	}
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge returns a gauge's current level and whether it was ever set.
+func (r *Recorder) Gauge(name string) (int64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gauges[name]
+	return v, ok
+}
+
+// Gauges returns a copy of all gauges.
+func (r *Recorder) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
 // Counters returns a copy of all counters.
 func (r *Recorder) Counters() map[string]int64 {
 	if r == nil {
@@ -275,11 +318,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil || h.Count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	// The extremes are exact by definition — and bucket 0's bound (0)
+	// would otherwise overstate a negative Min.
+	if q <= 0 {
+		return h.Min
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.Max
 	}
 	rank := int64(q * float64(h.Count-1)) // 0-based rank of the quantile
 	keys := make([]int, 0, len(h.Buckets))
@@ -319,18 +364,29 @@ func (r *Recorder) Observe(name string, v int64) {
 	r.mu.Unlock()
 }
 
-// Merge folds src's counters and histograms into r. hippocratesd gives
-// every job a private recorder (so span trees and audit trails stay
-// per-job) and merges each finished job into one long-lived recorder for
-// the /metrics aggregate. Spans and audit entries are deliberately not
-// merged: they belong to the per-job recorder, whose IDs and Seq numbers
-// would collide under concatenation.
+// Merge folds src's counters, gauges, and histograms into r.
+// hippocratesd gives every job a private recorder (so span trees and
+// audit trails stay per-job) and merges each finished job into one
+// long-lived recorder for the /metrics aggregate. The per-kind semantics
+// are deliberate and pinned by tests:
+//
+//   - counters SUM: they count events, and events accumulate;
+//   - gauges are LAST-WRITE-WINS: they sample levels, and the source's
+//     level (sampled later, at merge time) supersedes the destination's;
+//   - histograms fold bucket-wise (counts/sums add, min/max widen).
+//
+// Spans and audit entries are deliberately not merged: they belong to
+// the per-job recorder, whose IDs and Seq numbers would collide under
+// concatenation.
 func (r *Recorder) Merge(src *Recorder) {
 	if r == nil || src == nil {
 		return
 	}
 	for k, v := range src.Counters() {
 		r.Add(k, v)
+	}
+	for k, v := range src.Gauges() {
+		r.SetGauge(k, v)
 	}
 	for name, h := range src.Histograms() {
 		r.mergeHistogram(name, h)
@@ -344,6 +400,16 @@ func (r *Recorder) mergeHistogram(name string, src *Histogram) {
 	if h == nil {
 		h = &Histogram{}
 		r.hists[name] = h
+	}
+	h.merge(src)
+}
+
+// merge folds src into h: counts and sums add, min/max widen, buckets
+// add pairwise. An empty src is a no-op (its zero Min/Max carry no
+// information).
+func (h *Histogram) merge(src *Histogram) {
+	if src == nil || src.Count == 0 {
+		return
 	}
 	if h.Count == 0 || src.Min < h.Min {
 		h.Min = src.Min

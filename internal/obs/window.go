@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Windowed is a rolling-window histogram: observations land in a ring of
+// fixed-duration slots, and Snapshot folds the slots covering a trailing
+// window into one Histogram. hippocratesd keeps one per pipeline phase so
+// /metrics can serve "p99 over the last minute" instead of "p99 since
+// boot" — a scrape-friendly signal that decays when traffic stops.
+//
+// A slot that falls out of the ring is lazily reset the next time its
+// position is reused, so an idle Windowed costs nothing. All methods are
+// safe for concurrent use; a nil *Windowed is a valid no-op, matching the
+// package's nil-Recorder convention.
+type Windowed struct {
+	mu    sync.Mutex
+	res   time.Duration
+	slots []windowSlot
+	now   func() time.Time // injectable for tests
+}
+
+// windowSlot is one ring position: the slot index it currently holds
+// (unix-nanos / resolution; -1 = never used) and that slot's histogram.
+type windowSlot struct {
+	idx  int64
+	hist Histogram
+}
+
+// NewWindowed returns a rolling histogram of `slots` ring positions, each
+// covering `res` of wall time — the ring spans res*slots. Defaults: 5s
+// resolution, 60 slots (a 5-minute span).
+func NewWindowed(res time.Duration, slots int) *Windowed {
+	if res <= 0 {
+		res = 5 * time.Second
+	}
+	if slots <= 0 {
+		slots = 60
+	}
+	w := &Windowed{res: res, slots: make([]windowSlot, slots), now: time.Now}
+	for i := range w.slots {
+		w.slots[i].idx = -1
+	}
+	return w
+}
+
+// Span returns the total wall time the ring covers.
+func (w *Windowed) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.res * time.Duration(len(w.slots))
+}
+
+// Observe records v into the current slot, resetting the ring position if
+// it still holds an expired slot.
+func (w *Windowed) Observe(v int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	idx := w.now().UnixNano() / int64(w.res)
+	s := &w.slots[idx%int64(len(w.slots))]
+	if s.idx != idx {
+		s.idx = idx
+		s.hist = Histogram{}
+	}
+	s.hist.observe(v)
+	w.mu.Unlock()
+}
+
+// Snapshot folds every live slot of the trailing window into one
+// Histogram copy. The window is rounded up to whole slots and clamped to
+// the ring's span; the current (partial) slot is always included. An
+// empty window returns an empty histogram, never nil.
+func (w *Windowed) Snapshot(window time.Duration) *Histogram {
+	out := &Histogram{}
+	if w == nil {
+		return out
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	nowIdx := w.now().UnixNano() / int64(w.res)
+	n := int64((window + w.res - 1) / w.res)
+	if n < 1 {
+		n = 1
+	}
+	if max := int64(len(w.slots)); n > max {
+		n = max
+	}
+	for i := range w.slots {
+		s := &w.slots[i]
+		// Live = written for a slot index inside (nowIdx-n, nowIdx].
+		if s.idx < 0 || s.idx > nowIdx || s.idx <= nowIdx-n {
+			continue
+		}
+		out.merge(&s.hist)
+	}
+	return out
+}

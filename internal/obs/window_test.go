@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Windowed deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestWindowed(res time.Duration, slots int) (*Windowed, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	w := NewWindowed(res, slots)
+	w.now = clk.now
+	return w, clk
+}
+
+// TestWindowedRollsOff: observations expire once the window slides past
+// them, while a longer window still sees them until the ring itself
+// recycles the slot.
+func TestWindowedRollsOff(t *testing.T) {
+	w, clk := newTestWindowed(time.Second, 10)
+	if got := w.Span(); got != 10*time.Second {
+		t.Fatalf("Span = %v, want 10s", got)
+	}
+
+	w.Observe(100)
+	clk.advance(2 * time.Second)
+	w.Observe(200)
+
+	short := w.Snapshot(1 * time.Second)
+	if short.Count != 1 || short.Max != 200 {
+		t.Errorf("1s snapshot = %+v, want only the fresh sample", short)
+	}
+	long := w.Snapshot(5 * time.Second)
+	if long.Count != 2 || long.Sum != 300 || long.Min != 100 || long.Max != 200 {
+		t.Errorf("5s snapshot = %+v, want both samples", long)
+	}
+
+	// Slide far enough that the first sample ages out of a 5s window.
+	clk.advance(4 * time.Second)
+	aged := w.Snapshot(5 * time.Second)
+	if aged.Count != 1 || aged.Max != 200 {
+		t.Errorf("aged 5s snapshot = %+v, want only the second sample", aged)
+	}
+
+	// Slide past the whole ring: everything is gone, even at max window.
+	clk.advance(20 * time.Second)
+	if got := w.Snapshot(time.Hour); got.Count != 0 {
+		t.Errorf("post-ring snapshot = %+v, want empty", got)
+	}
+}
+
+// TestWindowedSlotReuse: a ring position holding an expired slot is reset
+// when reused, so stale observations cannot leak into a new slot's data.
+func TestWindowedSlotReuse(t *testing.T) {
+	w, clk := newTestWindowed(time.Second, 4)
+	w.Observe(1)
+	w.Observe(1)
+	// 4 slots of 1s: advancing 4s lands on the same ring position.
+	clk.advance(4 * time.Second)
+	w.Observe(9)
+	got := w.Snapshot(w.Span())
+	if got.Count != 1 || got.Sum != 9 {
+		t.Errorf("reused slot kept stale data: %+v", got)
+	}
+}
+
+// TestWindowedClampAndEmpty: tiny and huge windows clamp to [1 slot,
+// ring span]; empty and nil receivers return an empty histogram.
+func TestWindowedClampAndEmpty(t *testing.T) {
+	w, _ := newTestWindowed(time.Second, 4)
+	if got := w.Snapshot(0); got == nil || got.Count != 0 {
+		t.Errorf("empty snapshot = %+v", got)
+	}
+	w.Observe(5)
+	if got := w.Snapshot(0); got.Count != 1 {
+		t.Errorf("zero-window snapshot must still include the current slot: %+v", got)
+	}
+	if got := w.Snapshot(time.Hour); got.Count != 1 {
+		t.Errorf("huge window clamps to ring span: %+v", got)
+	}
+	var nilW *Windowed
+	nilW.Observe(1) // no-op, must not panic
+	if got := nilW.Snapshot(time.Minute); got == nil || got.Count != 0 {
+		t.Errorf("nil Windowed snapshot = %+v", got)
+	}
+}
+
+// TestWindowedConcurrent hammers one Windowed from many goroutines while
+// snapshots run — the -race proof that the ring is contention-safe.
+func TestWindowedConcurrent(t *testing.T) {
+	w := NewWindowed(10*time.Millisecond, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(int64(i))
+			}
+		}()
+	}
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Snapshot(time.Minute)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+}

@@ -18,19 +18,25 @@ const MaxRequestBytes = 4 << 20
 //	POST /api/v1/jobs         submit asynchronously; 202 + {"job_id"}
 //	GET  /api/v1/jobs/{id}       job status (+ response when done)
 //	GET  /api/v1/jobs/{id}/spans the job's own span tree
-//	GET  /metrics             aggregate service metrics
-//	GET  /healthz             liveness (503 while draining)
+//	GET  /api/v1/debug/flightrecorder  slowest/failed/rejected jobs
+//	GET  /metrics             Prometheus text exposition (0.0.4)
+//	GET  /metrics.json        the same state as a JSON document
+//	GET  /healthz             liveness + drain state + shard depths
 //
-// Every submit answers with X-Hippocrates-Job (the job ID) and
-// X-Hippocrates-Cache (hit/miss against the response cache). A full
-// queue is 429 with Retry-After; a draining daemon is 503.
+// Every submit answers with X-Hippocrates-Job (the job ID),
+// X-Hippocrates-Cache (hit/miss against the response cache), and
+// X-Trace-Id (echoing the inbound X-Trace-Id / W3C traceparent trace-id,
+// or a generated one). A full queue is 429 with Retry-After; a draining
+// daemon is 503 with Retry-After.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", s.handleJobSpans)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/debug/flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -46,10 +52,17 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeAndSubmit parses the request body and enqueues it, mapping
-// submission failures onto status codes. A nil job means the response was
-// already written.
+// decodeAndSubmit parses the request body and enqueues it under the
+// request's trace ID, mapping submission failures onto status codes. A
+// nil job means the response was already written. The trace ID is echoed
+// on every outcome — accepted or rejected — so clients can correlate 429s
+// too.
 func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) *Job {
+	traceID := TraceFromRequest(r)
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	w.Header().Set(TraceHeader, traceID)
 	var req cli.Request
 	body := http.MaxBytesReader(w, r.Body, MaxRequestBytes)
 	dec := json.NewDecoder(body)
@@ -58,13 +71,14 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) *Job {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil
 	}
-	job, err := s.Submit(&req)
+	job, err := s.SubmitTraced(&req, traceID)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return nil
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return nil
 	case err != nil:
@@ -81,7 +95,9 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) *Job {
 }
 
 // handleRepair is the synchronous path: submit, wait, answer with the
-// pipeline's deterministic response document.
+// pipeline's deterministic response document. The trace ID stays in the
+// X-Trace-Id header, never the body — the body must stay byte-identical
+// across retries for the response cache.
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	job := s.decodeAndSubmit(w, r)
 	if job == nil {
@@ -111,14 +127,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(struct {
-		JobID string `json:"job_id"`
-		State string `json:"state"`
-	}{job.ID, job.State()})
+		JobID   string `json:"job_id"`
+		State   string `json:"state"`
+		TraceID string `json:"trace_id"`
+	}{job.ID, job.State(), job.TraceID})
 }
 
 // jobDoc is the GET /api/v1/jobs/{id} body.
 type jobDoc struct {
 	JobID    string          `json:"job_id"`
+	TraceID  string          `json:"trace_id"`
 	State    string          `json:"state"`
 	CacheHit bool            `json:"cache_hit"`
 	Error    string          `json:"error,omitempty"`
@@ -131,12 +149,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	doc := jobDoc{JobID: job.ID, State: job.State(), CacheHit: job.CacheHit()}
+	doc := jobDoc{JobID: job.ID, TraceID: job.TraceID, State: job.State(), CacheHit: job.CacheHit()}
 	if err := job.Err(); err != nil {
 		doc.Error = err.Error()
 	}
 	doc.Response = job.ResponseJSON()
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, job.TraceID)
 	json.NewEncoder(w).Encode(doc)
 }
 
@@ -152,10 +171,31 @@ func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, job.TraceID)
 	w.Write(data)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	data, err := json.MarshalIndent(s.flight.doc(), "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	data, err := s.PromText()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", PromContentType)
+	w.Write(data)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	data, err := s.MetricsJSON()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -165,12 +205,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// healthzDoc is the GET /healthz body: liveness plus the load signals a
+// balancer or autoscaler actually routes on.
+type healthzDoc struct {
+	Status   string     `json:"status"`
+	Draining bool       `json:"draining"`
+	InFlight int64      `json:"in_flight"`
+	Shards   []ShardDoc `json:"shards"`
+}
+
+// handleHealthz reports drain state and per-shard queue depth. While
+// draining it answers 503 with the same Retry-After the 429 path uses, so
+// clients back off uniformly.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, `{"status":"draining"}`)
-		return
+	doc := healthzDoc{
+		Status:   "ok",
+		Draining: s.Draining(),
+		InFlight: s.inFlight.Load(),
+		Shards:   s.shardDocs(),
 	}
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	w.Header().Set("Content-Type", "application/json")
+	if doc.Draining {
+		doc.Status = "draining"
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(doc)
 }

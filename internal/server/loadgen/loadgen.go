@@ -3,9 +3,11 @@
 // repair + crash-schedule validation) against a live daemon at a
 // configurable concurrency, twice — a cold round that must do all the
 // work, then a warm round that should ride the response cache — and
-// reports throughput, client-observed p50/p99 latency, and the
-// warm-over-cold speedup. `hippocratesd -selftest` runs it against an
-// in-process daemon and writes the result to BENCH_server.json.
+// reports throughput, client-observed p50/p99 latency, per-round cache
+// hit ratios, the warm-over-cold speedup, and a per-round time series of
+// throughput and daemon queue depth. `hippocratesd -selftest` runs it
+// against an in-process daemon and writes the result to
+// BENCH_server.json.
 package loadgen
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hippocrates/internal/cli"
@@ -66,21 +69,42 @@ type Options struct {
 	Requests []*cli.Request
 	// Client overrides the HTTP client (default: 5-minute timeout).
 	Client *http.Client
+	// SampleEvery sets the time-series sampling interval (default 250ms;
+	// negative disables sampling).
+	SampleEvery time.Duration
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
 
-// RoundStats is one replay round as the client observed it.
-type RoundStats struct {
-	Jobs       int     `json:"jobs"`
-	Failures   int     `json:"failures"`
-	Retries429 int     `json:"retries_429"`
-	CacheHits  int     `json:"cache_hits"`
-	WallMS     float64 `json:"wall_ms"`
+// Sample is one time-series observation taken while a round runs: the
+// client's own progress plus the daemon's queue state from /metrics.json
+// at that instant. The series shows how the run actually unfolded —
+// ramp-up, queue saturation under backpressure, the cache-hit cliff on
+// the warm round — which the round aggregates average away.
+type Sample struct {
+	OffsetMS   float64 `json:"offset_ms"`
+	Done       int     `json:"done"`
 	Throughput float64 `json:"throughput_jobs_per_sec"`
-	P50MS      float64 `json:"p50_ms"`
-	P99MS      float64 `json:"p99_ms"`
-	MaxMS      float64 `json:"max_ms"`
+	QueueDepth int     `json:"queue_depth"`
+	InFlight   int64   `json:"in_flight"`
+}
+
+// RoundStats is one replay round as the client observed it. HitRatio is
+// this round's own cache-hit fraction (hits/jobs): the cold round's
+// should be ~0 and the warm round's ~1 — the aggregate ratio the daemon
+// reports (~0.5 after both rounds) hides exactly that distinction.
+type RoundStats struct {
+	Jobs       int      `json:"jobs"`
+	Failures   int      `json:"failures"`
+	Retries429 int      `json:"retries_429"`
+	CacheHits  int      `json:"cache_hits"`
+	HitRatio   float64  `json:"hit_ratio"`
+	WallMS     float64  `json:"wall_ms"`
+	Throughput float64  `json:"throughput_jobs_per_sec"`
+	P50MS      float64  `json:"p50_ms"`
+	P99MS      float64  `json:"p99_ms"`
+	MaxMS      float64  `json:"max_ms"`
+	Samples    []Sample `json:"samples"`
 }
 
 // Report is the BENCH_server.json document.
@@ -97,8 +121,9 @@ type Report struct {
 	// WarmSpeedup is cold wall time over warm wall time — the headline
 	// the response cache must earn.
 	WarmSpeedup float64 `json:"warm_speedup"`
-	// CacheHitRatio is the daemon's /metrics service-level ratio after
-	// both rounds.
+	// CacheHitRatio is the daemon's /metrics.json service-level ratio
+	// after both rounds — an aggregate over cold+warm; the per-round
+	// Cold.HitRatio / Warm.HitRatio are the interpretable numbers.
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
@@ -159,6 +184,7 @@ func runRound(opts Options) (*RoundStats, error) {
 	}
 	jobs := make(chan *cli.Request)
 	results := make(chan outcome, len(opts.Requests))
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
@@ -167,20 +193,23 @@ func runRound(opts Options) (*RoundStats, error) {
 			for req := range jobs {
 				var o outcome
 				o.latency, o.retries, o.hit, o.err = post(opts, req)
+				done.Add(1)
 				results <- o
 			}
 		}()
 	}
 	start := time.Now()
+	stopSampler := startSampler(opts, start, &done)
 	for _, req := range opts.Requests {
 		jobs <- req
 	}
 	close(jobs)
 	wg.Wait()
 	wall := time.Since(start)
+	samples := stopSampler()
 	close(results)
 
-	rs := &RoundStats{Jobs: len(opts.Requests), WallMS: float64(wall.Nanoseconds()) / 1e6}
+	rs := &RoundStats{Jobs: len(opts.Requests), WallMS: float64(wall.Nanoseconds()) / 1e6, Samples: samples}
 	var lats []float64
 	for o := range results {
 		rs.Retries429 += o.retries
@@ -202,10 +231,85 @@ func runRound(opts Options) (*RoundStats, error) {
 		rs.P99MS = lats[(len(lats)*99)/100]
 		rs.MaxMS = lats[len(lats)-1]
 	}
+	if rs.Jobs > 0 {
+		rs.HitRatio = float64(rs.CacheHits) / float64(rs.Jobs)
+	}
 	if wall > 0 {
 		rs.Throughput = float64(rs.Jobs) / wall.Seconds()
 	}
 	return rs, nil
+}
+
+// startSampler spawns the time-series sampler and returns the function
+// that stops it and yields the collected samples. Each tick records
+// client progress plus the daemon's queue state; a failed /metrics.json
+// probe keeps the client-side fields (the daemon may be saturated —
+// that's exactly when the series is interesting).
+func startSampler(opts Options, start time.Time, done *atomic.Int64) func() []Sample {
+	every := opts.SampleEvery
+	if every < 0 {
+		return func() []Sample { return nil }
+	}
+	if every == 0 {
+		every = 250 * time.Millisecond
+	}
+	var (
+		samples []Sample
+		stop    = make(chan struct{})
+		fin     = make(chan struct{})
+	)
+	go func() {
+		defer close(fin)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				elapsed := now.Sub(start)
+				s := Sample{
+					OffsetMS: float64(elapsed.Nanoseconds()) / 1e6,
+					Done:     int(done.Load()),
+				}
+				if elapsed > 0 {
+					s.Throughput = float64(s.Done) / elapsed.Seconds()
+				}
+				if depth, inFlight, err := probeQueue(opts); err == nil {
+					s.QueueDepth = depth
+					s.InFlight = inFlight
+				}
+				samples = append(samples, s)
+			}
+		}
+	}()
+	return func() []Sample {
+		close(stop)
+		<-fin
+		if samples == nil {
+			samples = []Sample{}
+		}
+		return samples
+	}
+}
+
+// probeQueue reads the daemon's current queue depth and in-flight count.
+func probeQueue(opts Options) (depth int, inFlight int64, err error) {
+	resp, err := opts.Client.Get(opts.BaseURL + "/metrics.json")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Queue struct {
+			Depth    int   `json:"depth"`
+			InFlight int64 `json:"in_flight"`
+		} `json:"queue"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, 0, err
+	}
+	return doc.Queue.Depth, doc.Queue.InFlight, nil
 }
 
 // post submits one request synchronously, honoring 429 + Retry-After.
@@ -242,7 +346,7 @@ func post(opts Options, req *cli.Request) (latency time.Duration, retries int, h
 
 // fetchHitRatio reads the daemon's service-level cache hit ratio.
 func fetchHitRatio(opts Options) (float64, error) {
-	resp, err := opts.Client.Get(opts.BaseURL + "/metrics")
+	resp, err := opts.Client.Get(opts.BaseURL + "/metrics.json")
 	if err != nil {
 		return 0, err
 	}

@@ -11,14 +11,18 @@ import (
 // body and /metrics against these schemas, so a change to either shape
 // must update them in the same commit.
 //
-//go:embed schema/response.schema.json schema/metrics.schema.json
+//go:embed schema/response.schema.json schema/metrics.schema.json schema/flightrecorder.schema.json
 var schemaFS embed.FS
 
 // ResponseSchema returns the checked-in schema for the repair response.
 func ResponseSchema() []byte { return mustSchema("schema/response.schema.json") }
 
-// MetricsSchema returns the checked-in schema for /metrics.
+// MetricsSchema returns the checked-in schema for /metrics.json.
 func MetricsSchema() []byte { return mustSchema("schema/metrics.schema.json") }
+
+// FlightRecorderSchema returns the checked-in schema for
+// GET /api/v1/debug/flightrecorder.
+func FlightRecorderSchema() []byte { return mustSchema("schema/flightrecorder.schema.json") }
 
 func mustSchema(name string) []byte {
 	b, err := schemaFS.ReadFile(name)
@@ -32,5 +36,11 @@ func mustSchema(name string) []byte {
 // the obs package's embedded zero-dependency validator.
 func ValidateResponse(doc []byte) error { return obs.ValidateJSON(ResponseSchema(), doc) }
 
-// ValidateMetrics checks a /metrics document against the schema.
+// ValidateMetrics checks a /metrics.json document against the schema.
 func ValidateMetrics(doc []byte) error { return obs.ValidateJSON(MetricsSchema(), doc) }
+
+// ValidateFlightRecorder checks a flight-recorder document against the
+// schema.
+func ValidateFlightRecorder(doc []byte) error {
+	return obs.ValidateJSON(FlightRecorderSchema(), doc)
+}

@@ -25,11 +25,13 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +63,17 @@ type Config struct {
 	// StepLimit overrides the per-run instruction budget of jobs that
 	// specify none (0 keeps the interpreter's 100M default).
 	StepLimit int64
+	// TrackAllocs enables per-span allocation deltas on every job
+	// recorder (runtime.ReadMemStats per span — measurable overhead), so
+	// /metrics can serve per-phase alloc gauges. Off by default.
+	TrackAllocs bool
+	// FlightSlow / FlightFailed / FlightRejected bound the flight
+	// recorder: the N slowest jobs kept with full span trees and audit
+	// trails, the most recent failed jobs, and the most recent 429/503
+	// rejections (defaults 16 / 32 / 64).
+	FlightSlow     int
+	FlightFailed   int
+	FlightRejected int
 	// Log receives one line per job (nil = silent).
 	Log io.Writer
 }
@@ -81,9 +94,13 @@ const (
 	StateFailed  = "failed"
 )
 
-// Job is one submitted request and its lifecycle.
+// Job is one submitted request and its lifecycle. TraceID is assigned at
+// submit time (inbound header or generated) and immutable afterwards; it
+// reappears in the response header, the span tree, the log line, and —
+// for slow/failed jobs — the flight recorder.
 type Job struct {
-	ID string
+	ID      string
+	TraceID string
 
 	mu       sync.Mutex
 	state    string
@@ -148,10 +165,23 @@ type Server struct {
 	responses *responseCache
 	artifacts *artifactCache
 
-	// rec aggregates counters and latency histograms over all finished
-	// jobs (per-job span trees stay on the jobs' own recorders — merging
-	// them would interleave span IDs).
+	// rec aggregates counters, gauges, and latency histograms over all
+	// finished jobs (per-job span trees stay on the jobs' own recorders —
+	// merging them would interleave span IDs).
 	rec *obs.Recorder
+
+	// flight retains the slowest and all failed/rejected jobs for
+	// post-hoc diagnosis (GET /api/v1/debug/flightrecorder).
+	flight *flightRecorder
+
+	// windows holds one rolling per-phase latency histogram (plus the
+	// whole-job "job" row and the pre-run "queue_wait" row) so /metrics
+	// serves 1m/5m quantiles that decay, unlike rec's since-boot
+	// histograms. phaseAlloc accumulates per-phase allocation bytes when
+	// cfg.TrackAllocs is on.
+	winMu      sync.Mutex
+	windows    map[string]*obs.Windowed
+	phaseAlloc map[string]uint64
 
 	inFlight  atomic.Int64
 	submitted atomic.Int64
@@ -195,12 +225,15 @@ func New(cfg Config) *Server {
 		cfg.MaxTimeout = 5 * time.Minute
 	}
 	s := &Server{
-		cfg:       cfg,
-		responses: newResponseCache(cfg.ResponseCacheSize),
-		artifacts: newArtifactCache(cfg.ArtifactCacheSize),
-		rec:       obs.New(),
-		jobs:      make(map[string]*Job),
-		start:     time.Now(),
+		cfg:        cfg,
+		responses:  newResponseCache(cfg.ResponseCacheSize),
+		artifacts:  newArtifactCache(cfg.ArtifactCacheSize),
+		rec:        obs.New(),
+		flight:     newFlightRecorder(cfg.FlightSlow, cfg.FlightFailed, cfg.FlightRejected),
+		windows:    make(map[string]*obs.Windowed),
+		phaseAlloc: make(map[string]uint64),
+		jobs:       make(map[string]*Job),
+		start:      time.Now(),
 	}
 	s.shards = make([]chan *Job, cfg.Workers)
 	for i := range s.shards {
@@ -211,10 +244,20 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Submit validates and enqueues a request. It returns the job — possibly
-// already done, when the response cache recognizes the request — or
-// ErrQueueFull / ErrDraining / a validation error.
+// Submit validates and enqueues a request with a fresh trace ID. It
+// returns the job — possibly already done, when the response cache
+// recognizes the request — or ErrQueueFull / ErrDraining / a validation
+// error.
 func (s *Server) Submit(req *cli.Request) (*Job, error) {
+	return s.SubmitTraced(req, "")
+}
+
+// SubmitTraced is Submit under a caller-supplied trace ID (the HTTP
+// layer's inbound X-Trace-Id / traceparent); empty generates one.
+func (s *Server) SubmitTraced(req *cli.Request, traceID string) (*Job, error) {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -234,6 +277,7 @@ func (s *Server) Submit(req *cli.Request) (*Job, error) {
 		req.StepLimit = s.cfg.StepLimit
 	}
 	job := &Job{
+		TraceID: traceID,
 		state:   StateQueued,
 		done:    make(chan struct{}),
 		req:     req,
@@ -259,7 +303,7 @@ func (s *Server) Submit(req *cli.Request) (*Job, error) {
 		s.completed.Add(1)
 		s.rec.Add("server.jobs.response_cache_hits", 1)
 		s.remember(job)
-		s.logf("%s %s %s: response cache hit", job.ID, req.Mode, req.Program)
+		s.logf("%s trace=%s %s %s: response cache hit", job.ID, job.TraceID, req.Mode, req.Program)
 		return job, nil
 	}
 
@@ -270,8 +314,90 @@ func (s *Server) Submit(req *cli.Request) (*Job, error) {
 		return job, nil
 	default:
 		s.rejected.Add(1)
+		s.flight.recordReject(traceID, req.Program, req.Mode, 429)
 		return nil, ErrQueueFull
 	}
+}
+
+// ShardDepths returns each worker shard's queued (not yet running) job
+// count, index-aligned with the pool.
+func (s *Server) ShardDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, ch := range s.shards {
+		out[i] = len(ch)
+	}
+	return out
+}
+
+// observeWindow records one latency sample into a phase's rolling window
+// (5s resolution, 60 slots — a 5-minute ring serving 1m/5m quantiles).
+func (s *Server) observeWindow(phase string, ns int64) {
+	s.winMu.Lock()
+	w := s.windows[phase]
+	if w == nil {
+		w = obs.NewWindowed(5*time.Second, 60)
+		s.windows[phase] = w
+	}
+	s.winMu.Unlock()
+	w.Observe(ns)
+}
+
+// windowSnapshots folds every phase's ring into (phase, window) rows for
+// the exporters; windows with no samples are skipped.
+func (s *Server) windowSnapshots() []PhaseWindowDoc {
+	s.winMu.Lock()
+	phases := make(map[string]*obs.Windowed, len(s.windows))
+	for k, w := range s.windows {
+		phases[k] = w
+	}
+	s.winMu.Unlock()
+	var out []PhaseWindowDoc
+	for phase, w := range phases {
+		for _, win := range []struct {
+			name string
+			d    time.Duration
+		}{{"1m", time.Minute}, {"5m", 5 * time.Minute}} {
+			h := w.Snapshot(win.d)
+			if h.Count == 0 {
+				continue
+			}
+			out = append(out, PhaseWindowDoc{
+				Phase:  phase,
+				Window: win.name,
+				Count:  h.Count,
+				P50NS:  h.Quantile(0.50),
+				P95NS:  h.Quantile(0.95),
+				P99NS:  h.Quantile(0.99),
+				MaxNS:  h.Max,
+				SumNS:  h.Sum,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		return out[i].Window < out[j].Window
+	})
+	return out
+}
+
+// addPhaseAlloc accumulates a phase's allocation bytes (TrackAllocs on).
+func (s *Server) addPhaseAlloc(phase string, bytes uint64) {
+	s.winMu.Lock()
+	s.phaseAlloc[phase] += bytes
+	s.winMu.Unlock()
+}
+
+// phaseAllocs returns a copy of the per-phase allocation totals.
+func (s *Server) phaseAllocs() map[string]uint64 {
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	out := make(map[string]uint64, len(s.phaseAlloc))
+	for k, v := range s.phaseAlloc {
+		out[k] = v
+	}
+	return out
 }
 
 // shardOf maps a source key onto a worker, so jobs for the same program
@@ -328,11 +454,16 @@ func (s *Server) runJob(job *Job) {
 	job.state = StateRunning
 	req := job.req
 	rec := obs.New()
+	if s.cfg.TrackAllocs {
+		rec.SetTrackAllocs(true)
+	}
 	job.rec = rec
 	job.mu.Unlock()
 
 	root := rec.StartSpan("job")
 	root.SetAttr("job", job.ID)
+	root.SetAttr("trace_id", job.TraceID)
+	s.observeWindow("queue_wait", started.Sub(job.created).Nanoseconds())
 
 	finish := func(data []byte, err error) {
 		root.End()
@@ -351,21 +482,36 @@ func (s *Server) runJob(job *Job) {
 		if err != nil {
 			s.failed.Add(1)
 			s.rec.Add("server.jobs.failed", 1)
-			s.logf("%s %s %s: FAILED in %s: %v", job.ID, req.Mode, req.Program, elapsed.Round(time.Millisecond), err)
+			s.logf("%s trace=%s %s %s: FAILED in %s: %v", job.ID, job.TraceID, req.Mode, req.Program, elapsed.Round(time.Millisecond), err)
 		} else {
 			s.completed.Add(1)
-			s.logf("%s %s %s: done in %s", job.ID, req.Mode, req.Program, elapsed.Round(time.Millisecond))
+			s.logf("%s trace=%s %s %s: done in %s", job.ID, job.TraceID, req.Mode, req.Program, elapsed.Round(time.Millisecond))
 		}
-		// Fold the job's counters and per-phase wall times into the
-		// service-wide aggregate. Span trees stay on the job recorder.
+		// Fold the job's counters, gauges, and per-phase wall times into
+		// the service-wide aggregate. Span trees stay on the job recorder.
+		rec.SetGauge("server.job.last_latency_ns", elapsed.Nanoseconds())
 		s.rec.Merge(rec)
 		s.rec.Observe("server.job.ns", elapsed.Nanoseconds())
+		s.observeWindow("job", elapsed.Nanoseconds())
 		for _, pt := range rec.PhaseTotals() {
 			if pt.Name == "job" {
 				continue
 			}
 			s.rec.Observe("server.phase."+pt.Name+".ns", pt.Total.Nanoseconds())
+			s.observeWindow(pt.Name, pt.Total.Nanoseconds())
+			if s.cfg.TrackAllocs {
+				s.addPhaseAlloc(pt.Name, pt.Alloc)
+			}
 		}
+		// Flight recorder: failed jobs always, others when slow enough.
+		// The capture closure runs only when the entry is retained.
+		s.flight.offer(job, float64(elapsed.Nanoseconds())/1e6, err, func() (json.RawMessage, []*obs.AuditEntry) {
+			spans, sErr := rec.SpansJSON()
+			if sErr != nil {
+				spans = []byte(`{"spans":[]}`)
+			}
+			return spans, rec.AuditTrail()
+		})
 	}
 
 	// Artifact cache: compile once per (program, source), clone per job —

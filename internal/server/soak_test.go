@@ -4,6 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -16,7 +19,9 @@ import (
 // TestSoakConcurrentMatchesSequential is the service's determinism proof:
 // 32 jobs over the crashsim-able corpus, 16+ in flight at once under
 // -race, must produce responses byte-identical to sequential one-shot
-// cli.Run invocations of the same requests. The only tolerated difference
+// cli.Run invocations of the same requests — all while every
+// observability endpoint is scraped continuously. The only tolerated
+// difference
 // is the crashsim `stats` accounting (cache hits, images built, COW page
 // counters), which legitimately depends on which jobs shared a verdict
 // cache; normalizeResponse zeroes it on both sides before comparing.
@@ -64,6 +69,68 @@ func TestSoakConcurrentMatchesSequential(t *testing.T) {
 		}
 	}()
 
+	// Scrape every observability endpoint continuously while the soak
+	// runs: under -race this proves a Prometheus scraper polling a loaded
+	// daemon never races the job pipeline, and every body served mid-load
+	// is well-formed.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeErr := make(chan error, 1)
+	reportScrape := func(err error) {
+		select {
+		case scrapeErr <- err:
+		default:
+		}
+	}
+	for _, path := range []string{"/metrics", "/metrics.json", "/healthz", "/api/v1/debug/flightrecorder"} {
+		scrapeWG.Add(1)
+		go func(path string) {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					reportScrape(fmt.Errorf("GET %s: %w", path, err))
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					reportScrape(fmt.Errorf("GET %s: %w", path, err))
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					reportScrape(fmt.Errorf("GET %s: HTTP %d: %.200s", path, resp.StatusCode, body))
+					return
+				}
+				var check error
+				switch path {
+				case "/metrics":
+					check = obs.LintProm(body)
+				case "/metrics.json":
+					check = ValidateMetrics(body)
+				case "/api/v1/debug/flightrecorder":
+					check = ValidateFlightRecorder(body)
+				default:
+					if !json.Valid(body) {
+						check = fmt.Errorf("invalid JSON: %.200s", body)
+					}
+				}
+				if check != nil {
+					reportScrape(fmt.Errorf("GET %s mid-soak: %w", path, check))
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(path)
+	}
+
 	got := make([]string, jobs)
 	errs := make([]error, jobs)
 	var wg sync.WaitGroup
@@ -90,6 +157,13 @@ func TestSoakConcurrentMatchesSequential(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+	select {
+	case err := <-scrapeErr:
+		t.Errorf("concurrent scrape: %v", err)
+	default:
+	}
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("concurrent %s: %v", base[i%len(base)].Program, err)

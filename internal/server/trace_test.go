@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTraceFromRequest covers the header-precedence and sanitization
+// rules: X-Trace-Id wins, traceparent's trace-id field is accepted,
+// garbage is rejected.
+func TestTraceFromRequest(t *testing.T) {
+	mk := func(hdr map[string]string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/api/v1/repair", nil)
+		for k, v := range hdr {
+			r.Header.Set(k, v)
+		}
+		return r
+	}
+	validTP := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		name string
+		hdr  map[string]string
+		want string
+	}{
+		{"none", nil, ""},
+		{"x-trace-id", map[string]string{"X-Trace-Id": "abc-123_XY"}, "abc-123_XY"},
+		{"x-trace-id wins over traceparent", map[string]string{"X-Trace-Id": "mine", "traceparent": validTP}, "mine"},
+		{"traceparent", map[string]string{"traceparent": validTP}, "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{"traceparent uppercased", map[string]string{"traceparent": strings.ToUpper(validTP)}, "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{"traceparent all-zero rejected", map[string]string{"traceparent": "00-00000000000000000000000000000000-00f067aa0ba902b7-01"}, ""},
+		{"traceparent malformed", map[string]string{"traceparent": "00-zzzz-yy-01"}, ""},
+		{"x-trace-id with spaces rejected", map[string]string{"X-Trace-Id": "has space"}, ""},
+		{"x-trace-id too long rejected", map[string]string{"X-Trace-Id": strings.Repeat("a", 65)}, ""},
+	}
+	for _, tc := range cases {
+		if got := TraceFromRequest(mk(tc.hdr)); got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	if id := NewTraceID(); len(id) != 32 || !isHex(id) {
+		t.Errorf("NewTraceID() = %q, want 32 hex chars", id)
+	}
+	if NewTraceID() == NewTraceID() {
+		t.Error("two generated trace IDs collided")
+	}
+}
+
+// TestTracePropagation drives the HTTP mux end to end: the inbound trace
+// ID must come back on the submit response, the job document, the span
+// tree (as the root span's attribute), and the flight recorder.
+func TestTracePropagation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(publishReq())
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/repair", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, "trace-propagation-test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /api/v1/repair: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(TraceHeader); got != "trace-propagation-test" {
+		t.Errorf("submit echoed trace %q, want trace-propagation-test", got)
+	}
+	jobID := resp.Header.Get("X-Hippocrates-Job")
+
+	jobResp, err := http.Get(ts.URL + "/api/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jd struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(jobResp.Body).Decode(&jd); err != nil {
+		t.Fatal(err)
+	}
+	jobResp.Body.Close()
+	if jd.TraceID != "trace-propagation-test" {
+		t.Errorf("job doc trace %q", jd.TraceID)
+	}
+
+	spansResp, err := http.Get(ts.URL + "/api/v1/jobs/" + jobID + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := io.ReadAll(spansResp.Body)
+	spansResp.Body.Close()
+	if !bytes.Contains(spans, []byte(`"trace_id": "trace-propagation-test"`)) {
+		t.Errorf("span tree lacks the trace-id attribute: %.300s", spans)
+	}
+
+	frResp, err := http.Get(ts.URL + "/api/v1/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, _ := io.ReadAll(frResp.Body)
+	frResp.Body.Close()
+	if err := ValidateFlightRecorder(fr); err != nil {
+		t.Fatalf("flight recorder violates schema: %v", err)
+	}
+	if !bytes.Contains(fr, []byte(`"trace_id": "trace-propagation-test"`)) {
+		t.Errorf("flight recorder lacks the trace ID: %.300s", fr)
+	}
+}
+
+// TestHealthzShardsAndDrain: /healthz must expose per-shard queue depth
+// while healthy and flip to 503 with the same Retry-After the 429 path
+// sends once draining.
+func TestHealthzShardsAndDrain(t *testing.T) {
+	s := New(Config{Workers: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() (*http.Response, healthzDoc) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc healthzDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, doc
+	}
+
+	resp, doc := get()
+	if resp.StatusCode != http.StatusOK || doc.Status != "ok" || doc.Draining {
+		t.Fatalf("healthy daemon: %d %+v", resp.StatusCode, doc)
+	}
+	if len(doc.Shards) != 3 {
+		t.Fatalf("healthz reports %d shards, want 3", len(doc.Shards))
+	}
+	for i, sh := range doc.Shards {
+		if sh.Shard != i || sh.Capacity != 32 || sh.Depth != 0 {
+			t.Errorf("shard %d doc wrong: %+v", i, sh)
+		}
+	}
+
+	shutdown(t, s)
+	resp, doc = get()
+	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "draining" || !doc.Draining {
+		t.Errorf("draining daemon: %d %+v", resp.StatusCode, doc)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("draining Retry-After %q, want \"1\" (the 429 path's value)", got)
+	}
+}
