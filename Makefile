@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke bench-server bench-optimize
+.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke fleet-smoke bench-server bench-optimize bench-fleet
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,16 @@ optimize-smoke:
 server-smoke:
 	$(GO) run ./cmd/hippocratesd -smoke -quiet
 
+# fleet-smoke runs the fault-injection suite against real in-process
+# backends behind the hippocratesfleet router — a backend hard-killed
+# mid-load, a SIGTERM drain, injected latency with hedging armed, and
+# TCP connection resets — and requires every scenario to finish with
+# zero harm: all jobs accepted, every accepted response byte-identical
+# to a sequential run, every rejection an honest 429/503 + Retry-After.
+# It also lints the router's own Prometheus /metrics exposition.
+fleet-smoke:
+	$(GO) run ./cmd/hippocratesfleet -smoke -quiet
+
 # verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
 # full suite under the race detector, the agreement harness, and the
 # telemetry, crash-validation, and repair-service smoke tests.
@@ -72,6 +82,7 @@ verify: vet build
 	$(MAKE) crash-smoke
 	$(MAKE) optimize-smoke
 	$(MAKE) server-smoke
+	$(MAKE) fleet-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -89,3 +100,12 @@ bench-server:
 # set to BENCH_optimize.json.
 bench-optimize:
 	BENCH_OPTIMIZE_OUT=$(CURDIR)/BENCH_optimize.json $(GO) test -run '^TestWriteOptSweepJSON$$' -count=1 -v ./internal/bench/
+
+# bench-fleet measures routed cold/warm corpus throughput at 1, 2, and 3
+# backends plus a kill drill (one backend killed mid-load: zero accepted
+# jobs lost, zero mismatched bytes, client-observed p99) and writes
+# BENCH_fleet.json. Cold throughput scales with spare CPU, not backend
+# count — the report records gomaxprocs so the scaling numbers read in
+# context.
+bench-fleet:
+	$(GO) run ./cmd/hippocratesfleet -bench -bench-out $(CURDIR)/BENCH_fleet.json

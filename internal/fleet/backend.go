@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Breaker thresholds and cooldowns. Three consecutive connection-level
+// failures eject a backend; the cooldown doubles on each re-ejection
+// (a flapping node backs off further each time) and any success resets
+// everything.
+const (
+	breakerThreshold    = 3
+	breakerBaseCooldown = 500 * time.Millisecond
+	breakerMaxCooldown  = 15 * time.Second
+)
+
+// backend is one hippocratesd node as the router sees it: its address,
+// the health poller's latest verdict, and a circuit breaker fed by the
+// data path. All fields behind mu; reads are cheap and brief.
+type backend struct {
+	name string // backend identity (-id), also its ring name
+	url  string // e.g. http://127.0.0.1:8081
+
+	mu         sync.Mutex
+	healthy    bool // last health probe succeeded and was not draining
+	draining   bool // backend said it is draining (503 healthz)
+	fails      int  // consecutive connection-level failures
+	ejections  int  // lifetime ejection count, drives the cooldown ramp
+	ejectedTil time.Time
+	lastProbe  time.Time
+}
+
+// Available reports whether the data path should try this backend now:
+// not breaker-ejected, and not known-unhealthy from the poller. A
+// draining backend is unavailable for new work (it would answer 503)
+// but is not a breaker event — drain is deliberate, not a fault.
+func (b *backend) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if time.Now().Before(b.ejectedTil) {
+		return false
+	}
+	return b.healthy && !b.draining
+}
+
+// Ejected reports whether the breaker currently holds the backend out.
+func (b *backend) Ejected() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Now().Before(b.ejectedTil)
+}
+
+// Fail records a connection-level failure (dial refused, reset, i/o
+// timeout at the transport). HTTP-level rejections (429/503) are flow
+// control, not faults, and must not feed the breaker.
+func (b *backend) Fail() (ejected bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails < breakerThreshold {
+		return false
+	}
+	b.fails = 0
+	cool := breakerBaseCooldown << b.ejections
+	if cool > breakerMaxCooldown || cool <= 0 {
+		cool = breakerMaxCooldown
+	}
+	if b.ejections < 30 {
+		b.ejections++
+	}
+	b.ejectedTil = time.Now().Add(cool)
+	return true
+}
+
+// Succeed records a successful exchange: breaker state fully resets.
+func (b *backend) Succeed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.ejections = 0
+	b.ejectedTil = time.Time{}
+}
+
+// setHealth stores a health-probe verdict.
+func (b *backend) setHealth(healthy, draining bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.healthy = healthy
+	b.draining = draining
+	b.lastProbe = time.Now()
+}
+
+// state snapshots the backend for /healthz reporting.
+func (b *backend) state() BackendState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendState{
+		Name:     b.name,
+		URL:      b.url,
+		Healthy:  b.healthy,
+		Draining: b.draining,
+		Ejected:  time.Now().Before(b.ejectedTil),
+	}
+}
+
+// BackendState is one backend's row in the router's /healthz document.
+type BackendState struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining"`
+	Ejected  bool   `json:"ejected"`
+}
+
+// probeHealth performs one GET /healthz against the backend and records
+// the verdict. A 200 means healthy; a 503 with a healthz body means the
+// backend is up but draining; anything else (including transport errors)
+// means unhealthy. Returns the verdict for the caller's metrics.
+func (b *backend) probeHealth(client *http.Client) (healthy bool) {
+	resp, err := client.Get(b.url + "/healthz")
+	if err != nil {
+		b.setHealth(false, false)
+		return false
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Draining bool `json:"draining"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		b.setHealth(true, false)
+		return true
+	case resp.StatusCode == http.StatusServiceUnavailable && doc.Draining:
+		// Up, deliberately refusing new work: route around it without
+		// feeding the breaker.
+		b.setHealth(true, true)
+		return false
+	default:
+		b.setHealth(false, false)
+		return false
+	}
+}

@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestChaosScenariosZeroHarm runs the full fault-injection suite —
+// kill, drain, latency+hedging, connection resets — against real
+// in-process backends and fails on any lost or corrupted job. Runs
+// under -race in the tier-1 suite (skipped in -short).
+func TestChaosScenariosZeroHarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite in -short mode")
+	}
+	results, err := RunAll(testWriter{t})
+	if err != nil {
+		t.Fatalf("chaos harness: %v", err)
+	}
+	if len(results) != len(Scenarios()) {
+		t.Fatalf("ran %d scenarios, want %d", len(results), len(Scenarios()))
+	}
+	for _, res := range results {
+		if res.OK() {
+			continue
+		}
+		doc, _ := json.MarshalIndent(res, "", "  ")
+		t.Errorf("scenario %s failed:\n%s", res.Scenario, doc)
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -1,0 +1,111 @@
+// Package chaos is the fleet's fault-injection harness: it boots real
+// in-process hippocratesd backends behind a hippocratesfleet router,
+// injects faults mid-load — abrupt kills, SIGTERM-style drains, added
+// latency, connection resets — and asserts the Hippocratic property at
+// fleet scope: every accepted job's response is byte-identical to a
+// sequential cli.Run of the same request, and everything else is an
+// honest, retryable rejection. `hippocratesfleet -smoke` runs it as a
+// CI gate.
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a TCP fault-injection proxy in front of one backend: it
+// forwards byte streams verbatim until told to stall new connections
+// (latency injection) or snap every Nth one (connection resets). The
+// router's transport must survive both without losing a job.
+type Proxy struct {
+	listener net.Listener
+	target   string
+
+	latency    atomic.Int64 // initial per-connection stall, ns
+	resetEvery atomic.Int64 // abort every Nth new connection (0 = never)
+	conns      atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to target
+// (a host:port address).
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{listener: ln, target: target}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// URL returns the proxy's http base URL.
+func (p *Proxy) URL() string { return "http://" + p.listener.Addr().String() }
+
+// SetLatency stalls every NEW connection for d before any byte flows.
+// Callers that want the stall to apply per request must disable HTTP
+// keep-alives so each request dials fresh.
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// SetResetEvery makes every nth new connection abort immediately —
+// the client sees a connection reset. 0 disables.
+func (p *Proxy) SetResetEvery(n int) { p.resetEvery.Store(int64(n)) }
+
+// Close stops accepting and waits for forwarders to unwind.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.listener.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		n := p.conns.Add(1)
+		if every := p.resetEvery.Load(); every > 0 && n%every == 0 {
+			// Snap it: RST if the stack obliges (SO_LINGER 0), else a
+			// plain close — either way the client's request dies.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.forward(conn)
+	}
+}
+
+func (p *Proxy) forward(client net.Conn) {
+	defer p.wg.Done()
+	defer client.Close()
+	if d := time.Duration(p.latency.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+	done := make(chan struct{}, 2)
+	go func() { io.Copy(upstream, client); done <- struct{}{} }()
+	go func() { io.Copy(client, upstream); done <- struct{}{} }()
+	// Either direction closing tears the pair down; the deferred closes
+	// unblock the other copier.
+	<-done
+}

@@ -1,0 +1,99 @@
+// Package fleet is the hippocratesfleet router: a consistent-hash HTTP
+// load balancer over N hippocratesd backends. Routing by the request's
+// SourceKey — the artifact-cache key, sha256(program \0 source) — keeps
+// every replay of one program landing on the same backend, so both the
+// artifact cache (parse/analyze/repair pipeline output) and the response
+// cache stay hot per node instead of being diluted N ways. The router
+// adds what a single daemon cannot give: health-checked failover,
+// bounded retries, hedged duplicates for slow same-source replays (safe
+// because hippocratesd's replay contract is byte-identical responses),
+// and per-backend circuit breaking — all stdlib-only.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerBackend is how many virtual points each backend contributes
+// to the hash ring. 64 keeps the keyspace split within a few percent of
+// even for small fleets while the ring stays tiny (N*64 entries).
+const vnodesPerBackend = 64
+
+// Ring is an immutable consistent-hash ring over backend names. Backend
+// unavailability is handled at routing time by skipping ejected names in
+// the preference order — never by rebuilding the ring, which would
+// re-hash the whole keyspace and dump every backend's warm caches.
+type Ring struct {
+	points   []ringPoint // sorted by hash
+	backends []string
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int // index into backends
+}
+
+// NewRing builds the ring. Backend names must be unique and non-empty.
+func NewRing(backends []string) (*Ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one backend")
+	}
+	seen := map[string]bool{}
+	r := &Ring{backends: append([]string(nil), backends...)}
+	for i, b := range r.backends {
+		if b == "" {
+			return nil, fmt.Errorf("fleet: empty backend name at index %d", i)
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("fleet: duplicate backend %q", b)
+		}
+		seen[b] = true
+		for v := 0; v < vnodesPerBackend; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", b, v)), backend: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// hash64 is FNV-1a with a murmur-style 64-bit finalizer. Raw FNV-1a
+// barely diffuses into the high bits on short inputs, so a backend's
+// vnodes would land in one tight band of the ring and ownership would
+// collapse onto whichever backend sorts first — the finalizer's
+// avalanche restores a uniform spread.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Backends returns the ring's member names in construction order.
+func (r *Ring) Backends() []string { return append([]string(nil), r.backends...) }
+
+// Order returns every backend in preference order for key: the owner
+// (first ring point at or after hash(key)) first, then each remaining
+// backend in the order its first vnode appears walking clockwise. The
+// caller tries them left to right, skipping ejected ones — failover for
+// one key is deterministic and does not disturb any other key's owner.
+func (r *Ring) Order(key string) []string {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]string, 0, len(r.backends))
+	seen := make([]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(order) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			order = append(order, r.backends[p.backend])
+		}
+	}
+	return order
+}

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderDeterministicAndComplete(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("source-key-%d", i)
+		o1 := r.Order(key)
+		o2 := r.Order(key)
+		if len(o1) != 3 {
+			t.Fatalf("Order(%q) returned %d backends, want 3", key, len(o1))
+		}
+		seen := map[string]bool{}
+		for _, b := range o1 {
+			seen[b] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("Order(%q) = %v contains duplicates", key, o1)
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("Order(%q) not deterministic: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+// TestRingOwnershipStableAcrossMembership: the owner a key maps to on an
+// N-ring must equal its owner on the (N+1)-ring whenever the new member
+// is not the one that took over — i.e. adding a node only moves keys TO
+// the new node, never shuffles keys between survivors. That property is
+// the whole point of consistent hashing: a failover or scale-out event
+// must not dump every backend's warm caches.
+func TestRingOwnershipStableAcrossMembership(t *testing.T) {
+	small, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing([]string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("program-%d.pmc", i)
+		was, now := small.Order(key)[0], big.Order(key)[0]
+		if now == "d" {
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %s -> %s without involving the new node", key, was, now)
+		}
+	}
+	// ~1/4 of the keyspace should migrate to the new node — not ~0 (the
+	// node would be idle) and not ~all (that would be mod-N rehashing).
+	if moved < keys/8 || moved > keys/2 {
+		t.Errorf("%d/%d keys moved to the new node; expected roughly a quarter", moved, keys)
+	}
+}
+
+// TestRingFailoverPreservesSurvivorOrder: skipping the first preference
+// (the ejected owner) must leave the rest of the order intact, so every
+// key with a live owner is untouched by another backend's ejection.
+func TestRingFailoverPreservesSurvivorOrder(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[r.Order(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for _, b := range []string{"a", "b", "c"} {
+		if counts[b] < 150 {
+			t.Errorf("backend %s owns only %d/1000 keys — vnode spread too uneven", b, counts[b])
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Error("empty backend name accepted")
+	}
+}

@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hippocrates/internal/obs"
+)
+
+// fakeBackend is a minimal hippocratesd stand-in: a healthz endpoint and
+// a repair endpoint whose behavior the test scripts per call. The real
+// daemon is exercised by the chaos package; these tests isolate routing
+// policy.
+type fakeBackend struct {
+	name    string
+	ts      *httptest.Server
+	hits    atomic.Int64
+	handler atomic.Value // func(w http.ResponseWriter, r *http.Request)
+}
+
+func newFakeBackend(t *testing.T, name string) *fakeBackend {
+	fb := &fakeBackend{name: name}
+	fb.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Hippocrates-Backend", name)
+		fmt.Fprintf(w, `{"backend":%q}`, name)
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /api/v1/repair", func(w http.ResponseWriter, r *http.Request) {
+		fb.hits.Add(1)
+		fb.handler.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+	})
+	fb.ts = httptest.NewServer(mux)
+	t.Cleanup(fb.ts.Close)
+	return fb
+}
+
+func (fb *fakeBackend) respond(fn func(w http.ResponseWriter, r *http.Request)) {
+	fb.handler.Store(fn)
+}
+
+func newTestRouter(t *testing.T, cfg Config, fbs ...*fakeBackend) *Router {
+	for _, fb := range fbs {
+		cfg.Backends = append(cfg.Backends, Backend{Name: fb.name, URL: fb.ts.URL})
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 50 * time.Millisecond
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func postJob(t *testing.T, url, program string) (*http.Response, []byte) {
+	t.Helper()
+	body := fmt.Sprintf(`{"program":%q,"source":"fn main() {}","mode":"check"}`, program)
+	resp, err := http.Post(url+"/api/v1/repair", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestRouterStickyRouting: the same program must land on the same
+// backend every time, and distinct programs must spread.
+func TestRouterStickyRouting(t *testing.T) {
+	a, b, c := newFakeBackend(t, "a"), newFakeBackend(t, "b"), newFakeBackend(t, "c")
+	rt := newTestRouter(t, Config{}, a, b, c)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// One program, many submissions: exactly one backend serves them all.
+	for i := 0; i < 6; i++ {
+		resp, data := postJob(t, ts.URL, "sticky.pmc")
+		if resp.StatusCode != 200 {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+	}
+	nonZero := 0
+	for _, fb := range []*fakeBackend{a, b, c} {
+		if n := fb.hits.Load(); n > 0 {
+			nonZero++
+			if n != 6 {
+				t.Errorf("backend %s served %d of 6 submissions of one program", fb.name, n)
+			}
+		}
+	}
+	if nonZero != 1 {
+		t.Errorf("one program hit %d backends, want exactly 1", nonZero)
+	}
+
+	// Many programs: more than one backend does work.
+	for i := 0; i < 30; i++ {
+		postJob(t, ts.URL, fmt.Sprintf("spread-%d.pmc", i))
+	}
+	spread := 0
+	for _, fb := range []*fakeBackend{a, b, c} {
+		if fb.hits.Load() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("30 distinct programs landed on %d backend(s)", spread)
+	}
+}
+
+// TestRouterFailsOverOnConnError: a dead owner must not surface to the
+// client — the next backend in the key's preference order takes the job.
+func TestRouterFailsOverOnConnError(t *testing.T) {
+	a, b, c := newFakeBackend(t, "a"), newFakeBackend(t, "b"), newFakeBackend(t, "c")
+	rt := newTestRouter(t, Config{}, a, b, c)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// Find which backend owns this program, then kill it.
+	resp, _ := postJob(t, ts.URL, "victim.pmc")
+	owner := resp.Header.Get("X-Hippocrates-Backend")
+	if owner == "" {
+		t.Fatal("no backend header on routed response")
+	}
+	for _, fb := range []*fakeBackend{a, b, c} {
+		if fb.name == owner {
+			fb.ts.Close()
+		}
+	}
+
+	resp2, data := postJob(t, ts.URL, "victim.pmc")
+	if resp2.StatusCode != 200 {
+		t.Fatalf("failover: HTTP %d: %s", resp2.StatusCode, data)
+	}
+	if got := resp2.Header.Get("X-Hippocrates-Backend"); got == owner || got == "" {
+		t.Errorf("failover answered by %q, want a different live backend than %q", got, owner)
+	}
+}
+
+// TestRouterRelays503AndRetryAfterWhenAllDown: with every backend gone
+// the router must answer 503 with a Retry-After, never hang or 502.
+func TestRouterRelays503WhenAllDown(t *testing.T) {
+	a, b := newFakeBackend(t, "a"), newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{RetryBase: time.Millisecond}, a, b)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	a.ts.Close()
+	b.ts.Close()
+
+	resp, data := postJob(t, ts.URL, "orphan.pmc")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-down: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("all-down 503 carries no Retry-After")
+	}
+}
+
+// TestRouterDoesNotRetryDeterministicFailures: 422 and 504 are
+// deterministic per request — replaying them on another backend would
+// waste a worker and delay the verdict. They must relay through on the
+// first attempt, typed body intact.
+func TestRouterDoesNotRetryDeterministicFailures(t *testing.T) {
+	a, b := newFakeBackend(t, "a"), newFakeBackend(t, "b")
+	for _, fb := range []*fakeBackend{a, b} {
+		fb.respond(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			fmt.Fprint(w, `{"error":"job x: deadline exceeded","kind":"deadline"}`)
+		})
+	}
+	rt := newTestRouter(t, Config{}, a, b)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	resp, data := postJob(t, ts.URL, "slow.pmc")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("HTTP %d, want 504: %s", resp.StatusCode, data)
+	}
+	var doc struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Kind != "deadline" {
+		t.Errorf("typed error doc not relayed: %s", data)
+	}
+	if total := a.hits.Load() + b.hits.Load(); total != 1 {
+		t.Errorf("deterministic 504 provoked %d attempts, want exactly 1", total)
+	}
+}
+
+// TestRouterBreakerEjectsAndRecovers: repeated transport failures must
+// eject a backend (visible in /healthz) and a recovered backend must
+// come back after the cooldown + a successful probe.
+func TestRouterBreakerEjects(t *testing.T) {
+	a, b := newFakeBackend(t, "a"), newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{RetryBase: time.Millisecond}, a, b)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	resp, _ := postJob(t, ts.URL, "breaker.pmc")
+	owner := resp.Header.Get("X-Hippocrates-Backend")
+	for _, fb := range []*fakeBackend{a, b} {
+		if fb.name == owner {
+			fb.ts.Close()
+		}
+	}
+	// Hammer the dead owner's key until the breaker trips.
+	for i := 0; i < 4; i++ {
+		postJob(t, ts.URL, "breaker.pmc")
+	}
+	if !rt.backends[owner].Ejected() {
+		t.Errorf("backend %s not ejected after repeated transport failures", owner)
+	}
+	if rt.mEjections.Get(owner) == 0 {
+		t.Error("ejection not counted in metrics")
+	}
+}
+
+// TestRouterHedgesSlowOwner: a slow (but alive) owner must not pin the
+// client to its latency when hedging is armed — the duplicate chain on
+// the next preference answers first, byte-identical by contract.
+func TestRouterHedgesSlowOwner(t *testing.T) {
+	a, b, c := newFakeBackend(t, "a"), newFakeBackend(t, "b"), newFakeBackend(t, "c")
+	rt := newTestRouter(t, Config{HedgeAfter: 30 * time.Millisecond}, a, b, c)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	resp, _ := postJob(t, ts.URL, "hedge.pmc")
+	owner := resp.Header.Get("X-Hippocrates-Backend")
+	for _, fb := range []*fakeBackend{a, b, c} {
+		if fb.name == owner {
+			fb.respond(func(w http.ResponseWriter, r *http.Request) {
+				time.Sleep(2 * time.Second)
+				w.Header().Set("X-Hippocrates-Backend", owner)
+				fmt.Fprint(w, `{"slow":true}`)
+			})
+		}
+	}
+	start := time.Now()
+	resp2, data := postJob(t, ts.URL, "hedge.pmc")
+	elapsed := time.Since(start)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("hedged request: HTTP %d: %s", resp2.StatusCode, data)
+	}
+	if got := resp2.Header.Get("X-Hippocrates-Backend"); got == owner {
+		t.Errorf("hedge did not win: answered by slow owner %q", got)
+	}
+	if elapsed > time.Second {
+		t.Errorf("hedged request took %s — waited for the slow owner", elapsed)
+	}
+	if rt.mHedges.Total() == 0 || rt.mHedgeWins.Total() == 0 {
+		t.Errorf("hedge metrics: launched=%v wins=%v, want both > 0",
+			rt.mHedges.Total(), rt.mHedgeWins.Total())
+	}
+}
+
+// TestRouterMetricsLint: the router's /metrics output must pass the
+// same linter the daemon's does.
+func TestRouterMetricsLint(t *testing.T) {
+	a := newFakeBackend(t, "a")
+	rt := newTestRouter(t, Config{}, a)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	postJob(t, ts.URL, "lint.pmc")
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := obs.LintProm(data); err != nil {
+		t.Fatalf("router /metrics fails lint: %v\n%s", err, data)
+	}
+	for _, want := range []string{"hippocratesfleet_requests_total", "hippocratesfleet_backend_healthy", "hippocratesfleet_in_flight"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+}
+
+// TestRouterHealthzReportsBackends: the router's own health document
+// carries one row per backend with live verdicts.
+func TestRouterHealthzReportsBackends(t *testing.T) {
+	a, b := newFakeBackend(t, "a"), newFakeBackend(t, "b")
+	rt := newTestRouter(t, Config{ProbeInterval: 20 * time.Millisecond}, a, b)
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	b.ts.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Backends  []BackendState `json:"backends"`
+			Available int            `json:"available_backends"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.Backends) != 2 {
+			t.Fatalf("healthz lists %d backends, want 2", len(doc.Backends))
+		}
+		if doc.Available == 1 {
+			return // poller noticed the dead backend
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health poller never marked the dead backend: %+v", doc.Backends)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PromVec is a concurrency-safe labeled sample set that renders as one
+// Prometheus family: a fixed label-name schema declared up front, one
+// float64 cell per distinct label-value tuple. It is the primitive the
+// fleet router's per-backend metrics are built on (requests by backend
+// and outcome, retries by backend and reason, breaker state by backend)
+// — callers mutate cells from request goroutines, the exporter snapshots
+// a deterministic, sorted PromFamily.
+//
+// Counter-style vecs use Add, gauge-style vecs use Set; the Type field
+// given at construction decides how the family is declared. Label-value
+// tuples are keyed by their joined values, so the arity is enforced: a
+// mismatched Add/Set panics, the same contract WriteProm applies to
+// names.
+type PromVec struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu    sync.Mutex
+	cells map[string]*promCell
+}
+
+type promCell struct {
+	values []string
+	v      float64
+}
+
+// NewPromVec declares a labeled family. Valid types are the WriteProm
+// vocabulary; the writer re-validates at render time, so a typo fails in
+// tests, not in the scraper.
+func NewPromVec(name, help, typ string, labelNames ...string) *PromVec {
+	return &PromVec{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: labelNames,
+		cells:  make(map[string]*promCell),
+	}
+}
+
+// key joins a label-value tuple; \xff never appears in sane label values
+// and keeps ("a","bc") distinct from ("ab","c").
+func (v *PromVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label value(s), got %d", v.name, len(v.labels), len(values)))
+	}
+	out := ""
+	for i, s := range values {
+		if i > 0 {
+			out += "\xff"
+		}
+		out += s
+	}
+	return out
+}
+
+func (v *PromVec) cell(values []string) *promCell {
+	k := v.key(values)
+	c := v.cells[k]
+	if c == nil {
+		c = &promCell{values: append([]string(nil), values...)}
+		v.cells[k] = c
+	}
+	return c
+}
+
+// Add increments the cell for the label-value tuple (counter idiom).
+func (v *PromVec) Add(delta float64, labelValues ...string) {
+	v.mu.Lock()
+	v.cell(labelValues).v += delta
+	v.mu.Unlock()
+}
+
+// Set overwrites the cell for the label-value tuple (gauge idiom).
+func (v *PromVec) Set(val float64, labelValues ...string) {
+	v.mu.Lock()
+	v.cell(labelValues).v = val
+	v.mu.Unlock()
+}
+
+// Get returns the cell's current value (0 if the tuple was never touched).
+func (v *PromVec) Get(labelValues ...string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.cells[v.key(labelValues)]; c != nil {
+		return c.v
+	}
+	return 0
+}
+
+// Total sums every cell — the unlabeled aggregate of a counter vec.
+func (v *PromVec) Total() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := 0.0
+	for _, c := range v.cells {
+		t += c.v
+	}
+	return t
+}
+
+// Family snapshots the vec as a render-ready PromFamily with samples
+// sorted by label values, so equal states render byte-identically.
+func (v *PromVec) Family() PromFamily {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.cells))
+	for k := range v.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f := PromFamily{Name: v.name, Help: v.help, Type: v.typ}
+	for _, k := range keys {
+		c := v.cells[k]
+		s := PromSample{Value: c.v}
+		for i, name := range v.labels {
+			s.Labels = append(s.Labels, PromLabel{Name: name, Value: c.values[i]})
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	v.mu.Unlock()
+	return f
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromVecRendersSortedAndLints(t *testing.T) {
+	v := NewPromVec("fleet_requests_total", "Requests by backend and outcome.", "counter", "backend", "outcome")
+	v.Add(2, "b1", "ok")
+	v.Add(1, "b0", "error")
+	v.Add(3, "b0", "ok")
+	v.Add(1, "b1", "ok")
+
+	if got := v.Get("b1", "ok"); got != 3 {
+		t.Errorf("Get(b1,ok) = %v, want 3", got)
+	}
+	if got := v.Total(); got != 7 {
+		t.Errorf("Total = %v, want 7", got)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, []PromFamily{v.Family()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintProm(buf.Bytes()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	// Sorted by label values: b0 rows before b1, error before ok.
+	iErr := strings.Index(out, `backend="b0",outcome="error"`)
+	iOK := strings.Index(out, `backend="b0",outcome="ok"`)
+	iB1 := strings.Index(out, `backend="b1",outcome="ok"`)
+	if iErr < 0 || iOK < 0 || iB1 < 0 || !(iErr < iOK && iOK < iB1) {
+		t.Errorf("samples not sorted by label values:\n%s", out)
+	}
+}
+
+func TestPromVecGaugeSetOverwrites(t *testing.T) {
+	v := NewPromVec("fleet_backend_healthy", "1 when healthy.", "gauge", "backend")
+	v.Set(1, "b0")
+	v.Set(0, "b0")
+	if got := v.Get("b0"); got != 0 {
+		t.Errorf("Set did not overwrite: got %v", got)
+	}
+}
+
+func TestPromVecArityEnforced(t *testing.T) {
+	v := NewPromVec("x_total", "x", "counter", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched label arity did not panic")
+		}
+	}()
+	v.Add(1, "only-one")
+}
+
+func TestPromVecConcurrent(t *testing.T) {
+	v := NewPromVec("x_total", "x", "counter", "who")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				v.Add(1, []string{"a", "b"}[i%2])
+				_ = v.Family()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := v.Total(); got != 800 {
+		t.Errorf("Total = %v, want 800", got)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 
 	"hippocrates/internal/cli"
+	"hippocrates/internal/interp"
 )
 
 // MaxRequestBytes bounds the request body (a pmc program plus options).
@@ -41,15 +44,35 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// errorDoc is the JSON body of every non-2xx answer.
+// errorDoc is the JSON body of every non-2xx answer. Kind is set for
+// typed failures a client can act on programmatically: "deadline" (the
+// job exceeded its wall-clock budget — HTTP 504; retrying the identical
+// request elsewhere will time out identically, so routers relay it) and
+// "steplimit" (the instruction budget — same determinism argument).
 type errorDoc struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// RetryAfterMin / RetryAfterMax bound the jittered Retry-After seconds
+// every backpressure answer carries (429 full shard, 503 draining, and
+// the draining /healthz — all three stay consistent). A constant value
+// would re-synchronize every rejected client onto the same instant and
+// re-stampede a recovering shard; jitter spreads the retry wave.
+const (
+	RetryAfterMin = 1
+	RetryAfterMax = 3
+)
+
+// setRetryAfter stamps the jittered Retry-After header.
+func setRetryAfter(h http.Header) {
+	h.Set("Retry-After", strconv.Itoa(RetryAfterMin+rand.IntN(RetryAfterMax-RetryAfterMin+1)))
 }
 
 // decodeAndSubmit parses the request body and enqueues it under the
@@ -63,6 +86,9 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) *Job {
 		traceID = NewTraceID()
 	}
 	w.Header().Set(TraceHeader, traceID)
+	if s.cfg.BackendID != "" {
+		w.Header().Set(BackendHeader, s.cfg.BackendID)
+	}
 	var req cli.Request
 	body := http.MaxBytesReader(w, r.Body, MaxRequestBytes)
 	dec := json.NewDecoder(body)
@@ -74,11 +100,11 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) *Job {
 	job, err := s.SubmitTraced(&req, traceID)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w.Header())
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return nil
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w.Header())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return nil
 	case err != nil:
@@ -111,11 +137,37 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := job.Err(); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "job %s: %v", job.ID, err)
+		writeJobError(w, job.ID, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(job.ResponseJSON())
+}
+
+// writeJobError maps a failed job onto its status code: a wall-clock
+// deadline expiry is the server-enforced per-job timeout (-job-timeout),
+// answered 504 with a typed error doc so clients and routers can tell
+// "this job is too slow by policy" from "this job is broken" (422). Both
+// limit kinds are deterministic for a given request, so neither is
+// retryable — the fleet router relays them as-is.
+func writeJobError(w http.ResponseWriter, jobID string, err error) {
+	var le *interp.LimitError
+	if errors.As(err, &le) {
+		doc := errorDoc{Error: fmt.Sprintf("job %s: %v", jobID, err)}
+		status := http.StatusUnprocessableEntity
+		switch le.Resource {
+		case "deadline":
+			doc.Kind = "deadline"
+			status = http.StatusGatewayTimeout
+		case "steps":
+			doc.Kind = "steplimit"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(doc)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, "job %s: %v", jobID, err)
 }
 
 // handleSubmit is the asynchronous path: 202 + the job ID to poll.
@@ -205,29 +257,40 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// BackendHeader carries the daemon's fleet identity (Config.BackendID)
+// on every submit outcome and /healthz body, so the router and the chaos
+// harness can attribute each response to the node that produced it.
+const BackendHeader = "X-Hippocrates-Backend"
+
 // healthzDoc is the GET /healthz body: liveness plus the load signals a
-// balancer or autoscaler actually routes on.
+// balancer or autoscaler actually routes on. BackendID identifies the
+// node inside a fleet (empty when standalone).
 type healthzDoc struct {
-	Status   string     `json:"status"`
-	Draining bool       `json:"draining"`
-	InFlight int64      `json:"in_flight"`
-	Shards   []ShardDoc `json:"shards"`
+	Status    string     `json:"status"`
+	BackendID string     `json:"backend_id,omitempty"`
+	Draining  bool       `json:"draining"`
+	InFlight  int64      `json:"in_flight"`
+	Shards    []ShardDoc `json:"shards"`
 }
 
 // handleHealthz reports drain state and per-shard queue depth. While
-// draining it answers 503 with the same Retry-After the 429 path uses, so
-// clients back off uniformly.
+// draining it answers 503 with the same jittered Retry-After the 429
+// path uses, so clients back off uniformly (and unsynchronized).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	doc := healthzDoc{
-		Status:   "ok",
-		Draining: s.Draining(),
-		InFlight: s.inFlight.Load(),
-		Shards:   s.shardDocs(),
+		Status:    "ok",
+		BackendID: s.cfg.BackendID,
+		Draining:  s.Draining(),
+		InFlight:  s.inFlight.Load(),
+		Shards:    s.shardDocs(),
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.BackendID != "" {
+		w.Header().Set(BackendHeader, s.cfg.BackendID)
+	}
 	if doc.Draining {
 		doc.Status = "draining"
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w.Header())
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(doc)

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,7 +62,8 @@ func CorpusRequests() []*cli.Request {
 
 // Options configures a load run.
 type Options struct {
-	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	// BaseURL is the driven endpoint's root — a hippocratesd backend or a
+	// hippocratesfleet router, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// Concurrency is the number of client workers (default 8).
 	Concurrency int
@@ -72,8 +74,59 @@ type Options struct {
 	// SampleEvery sets the time-series sampling interval (default 250ms;
 	// negative disables sampling).
 	SampleEvery time.Duration
+	// ProbeURLs overrides where the sampler reads queue state from
+	// (default: BaseURL). Driving a fleet, list every backend here: the
+	// sample carries the summed depth/in-flight across the fleet.
+	ProbeURLs []string
+	// Schedule fires fault-injection (or any other) events while a round
+	// runs — the chaos harness's kill/drain/latency triggers. Each event
+	// fires once, on completion count or wall clock, whichever its fields
+	// ask for.
+	Schedule []Event
+	// Retry503 retries 503 rejections (short flat backoff, like the 429
+	// path) instead of failing the job. A fleet client needs it: a 503
+	// means "everything is draining or down right now", which chaos
+	// scenarios make a transient condition.
+	Retry503 bool
+	// OnResult, when set, receives every finished job's outcome — the
+	// chaos harness's hook for byte-comparing accepted responses against
+	// the sequential ground truth.
+	OnResult func(req *cli.Request, res *Outcome)
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
+}
+
+// Event is one scheduled action inside a round: Run fires once when
+// AfterDone jobs have completed (if > 0) or After wall time has elapsed
+// (if > 0) — whichever is set; with both set, whichever happens first.
+// Completion-count triggers are the chaos harness's default: they place
+// a backend kill "mid-load" regardless of how fast the host is.
+type Event struct {
+	AfterDone int
+	After     time.Duration
+	Run       func()
+}
+
+// Outcome is one job's client-observed result.
+type Outcome struct {
+	// Status is the final HTTP status (200 for accepted jobs; a terminal
+	// 4xx/5xx when retries were exhausted or not applicable).
+	Status int
+	// Body is the final response body (the cli.Response JSON on 200).
+	Body []byte
+	// Backend is the X-Hippocrates-Backend identity that answered, when
+	// the daemon was booted with one.
+	Backend string
+	// Hit reports a response-cache hit (X-Hippocrates-Cache).
+	Hit bool
+	// RetryAfterOK reports that every 429/503 seen along the way carried
+	// a parseable Retry-After header — the "rejections do no harm"
+	// side-condition the chaos scenarios assert.
+	RetryAfterOK bool
+	Latency      time.Duration
+	Retries429   int
+	Retries503   int
+	Err          error
 }
 
 // Sample is one time-series observation taken while a round runs: the
@@ -94,17 +147,21 @@ type Sample struct {
 // should be ~0 and the warm round's ~1 — the aggregate ratio the daemon
 // reports (~0.5 after both rounds) hides exactly that distinction.
 type RoundStats struct {
-	Jobs       int      `json:"jobs"`
-	Failures   int      `json:"failures"`
-	Retries429 int      `json:"retries_429"`
-	CacheHits  int      `json:"cache_hits"`
-	HitRatio   float64  `json:"hit_ratio"`
-	WallMS     float64  `json:"wall_ms"`
-	Throughput float64  `json:"throughput_jobs_per_sec"`
-	P50MS      float64  `json:"p50_ms"`
-	P99MS      float64  `json:"p99_ms"`
-	MaxMS      float64  `json:"max_ms"`
-	Samples    []Sample `json:"samples"`
+	Jobs       int     `json:"jobs"`
+	Failures   int     `json:"failures"`
+	Retries429 int     `json:"retries_429"`
+	Retries503 int     `json:"retries_503,omitempty"`
+	CacheHits  int     `json:"cache_hits"`
+	HitRatio   float64 `json:"hit_ratio"`
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	// Backends counts accepted jobs per answering backend identity — only
+	// populated when the daemons were booted with -id (fleet runs).
+	Backends map[string]int `json:"backends,omitempty"`
+	Samples  []Sample       `json:"samples"`
 }
 
 // Report is the BENCH_server.json document.
@@ -148,7 +205,7 @@ func Run(opts Options) (*Report, error) {
 			fmt.Fprintf(opts.Log, "loadgen: %s round: %d jobs at concurrency %d\n",
 				name, len(opts.Requests), opts.Concurrency)
 		}
-		rs, err := runRound(opts)
+		rs, err := Round(opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s round: %w", name, err)
 		}
@@ -173,17 +230,23 @@ func Run(opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// runRound pushes every request through the daemon once, opts.Concurrency
-// at a time, retrying 429 backpressure rejections with a short backoff.
-func runRound(opts Options) (*RoundStats, error) {
-	type outcome struct {
-		latency time.Duration
-		retries int
-		hit     bool
-		err     error
+// Round pushes every request through the endpoint once, opts.Concurrency
+// at a time, retrying 429 backpressure rejections (and, with Retry503,
+// 503 rejections) with a short backoff, firing scheduled events as the
+// round progresses. Exported so the chaos harness can drive single
+// instrumented rounds instead of the cold/warm pair Run hard-codes.
+func Round(opts Options) (*RoundStats, error) {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Requests == nil {
+		opts.Requests = CorpusRequests()
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Minute}
 	}
 	jobs := make(chan *cli.Request)
-	results := make(chan outcome, len(opts.Requests))
+	results := make(chan *Outcome, len(opts.Requests))
 	var done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Concurrency; w++ {
@@ -191,15 +254,18 @@ func runRound(opts Options) (*RoundStats, error) {
 		go func() {
 			defer wg.Done()
 			for req := range jobs {
-				var o outcome
-				o.latency, o.retries, o.hit, o.err = post(opts, req)
+				o := post(opts, req)
 				done.Add(1)
+				if opts.OnResult != nil {
+					opts.OnResult(req, o)
+				}
 				results <- o
 			}
 		}()
 	}
 	start := time.Now()
 	stopSampler := startSampler(opts, start, &done)
+	stopSchedule := startSchedule(opts, start, &done)
 	for _, req := range opts.Requests {
 		jobs <- req
 	}
@@ -207,20 +273,28 @@ func runRound(opts Options) (*RoundStats, error) {
 	wg.Wait()
 	wall := time.Since(start)
 	samples := stopSampler()
+	stopSchedule()
 	close(results)
 
 	rs := &RoundStats{Jobs: len(opts.Requests), WallMS: float64(wall.Nanoseconds()) / 1e6, Samples: samples}
 	var lats []float64
 	for o := range results {
-		rs.Retries429 += o.retries
-		if o.err != nil {
+		rs.Retries429 += o.Retries429
+		rs.Retries503 += o.Retries503
+		if o.Err != nil {
 			rs.Failures++
 			continue
 		}
-		if o.hit {
+		if o.Hit {
 			rs.CacheHits++
 		}
-		lats = append(lats, float64(o.latency.Nanoseconds())/1e6)
+		if o.Backend != "" {
+			if rs.Backends == nil {
+				rs.Backends = map[string]int{}
+			}
+			rs.Backends[o.Backend]++
+		}
+		lats = append(lats, float64(o.Latency.Nanoseconds())/1e6)
 	}
 	if rs.Failures > 0 {
 		return rs, fmt.Errorf("%d of %d jobs failed", rs.Failures, rs.Jobs)
@@ -293,9 +367,79 @@ func startSampler(opts Options, start time.Time, done *atomic.Int64) func() []Sa
 	}
 }
 
-// probeQueue reads the daemon's current queue depth and in-flight count.
+// startSchedule arms the round's scheduled events (if any) and returns
+// the function that disarms the watcher. Each event fires exactly once,
+// from a single goroutine polling completion count and wall clock — Run
+// callbacks therefore never race each other.
+func startSchedule(opts Options, start time.Time, done *atomic.Int64) func() {
+	if len(opts.Schedule) == 0 {
+		return func() {}
+	}
+	fired := make([]bool, len(opts.Schedule))
+	stop := make(chan struct{})
+	fin := make(chan struct{})
+	go func() {
+		defer close(fin)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				n := int(done.Load())
+				elapsed := now.Sub(start)
+				remaining := false
+				for i, ev := range opts.Schedule {
+					if fired[i] {
+						continue
+					}
+					if (ev.AfterDone > 0 && n >= ev.AfterDone) || (ev.After > 0 && elapsed >= ev.After) {
+						fired[i] = true
+						ev.Run()
+						continue
+					}
+					remaining = true
+				}
+				if !remaining {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-fin
+	}
+}
+
+// probeQueue reads current queue depth and in-flight count — summed over
+// ProbeURLs when set (a fleet's backends), else from BaseURL. Endpoints
+// that refuse the probe (killed backends mid-chaos) contribute zero.
 func probeQueue(opts Options) (depth int, inFlight int64, err error) {
-	resp, err := opts.Client.Get(opts.BaseURL + "/metrics.json")
+	urls := opts.ProbeURLs
+	if len(urls) == 0 {
+		urls = []string{opts.BaseURL}
+	}
+	ok := false
+	for _, u := range urls {
+		d, f, perr := probeOne(opts.Client, u)
+		if perr != nil {
+			err = perr
+			continue
+		}
+		ok = true
+		depth += d
+		inFlight += f
+	}
+	if ok {
+		return depth, inFlight, nil
+	}
+	return 0, 0, err
+}
+
+func probeOne(client *http.Client, baseURL string) (depth int, inFlight int64, err error) {
+	resp, err := client.Get(baseURL + "/metrics.json")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -312,34 +456,58 @@ func probeQueue(opts Options) (depth int, inFlight int64, err error) {
 	return doc.Queue.Depth, doc.Queue.InFlight, nil
 }
 
-// post submits one request synchronously, honoring 429 + Retry-After.
-func post(opts Options, req *cli.Request) (latency time.Duration, retries int, hit bool, err error) {
+// post submits one request synchronously, honoring 429 (and, when
+// enabled, 503) + Retry-After. Every terminal answer — success or not —
+// comes back as an Outcome; Err doubles as the failed/ok discriminator.
+func post(opts Options, req *cli.Request) *Outcome {
+	o := &Outcome{RetryAfterOK: true}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return 0, 0, false, err
+		o.Err = err
+		return o
 	}
 	start := time.Now()
 	for {
 		resp, err := opts.Client.Post(opts.BaseURL+"/api/v1/repair", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return 0, retries, false, err
+			o.Err = err
+			return o
 		}
 		data, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return 0, retries, false, err
+			o.Err = err
+			return o
 		}
+		o.Status = resp.StatusCode
+		o.Body = data
+		o.Backend = resp.Header.Get("X-Hippocrates-Backend")
 		switch resp.StatusCode {
 		case http.StatusOK:
-			return time.Since(start), retries, resp.Header.Get("X-Hippocrates-Cache") == "hit", nil
-		case http.StatusTooManyRequests:
-			retries++
-			if retries > 1000 {
-				return 0, retries, false, fmt.Errorf("gave up after %d backpressure retries", retries)
+			o.Latency = time.Since(start)
+			o.Hit = resp.Header.Get("X-Hippocrates-Cache") == "hit"
+			return o
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if _, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil {
+				o.RetryAfterOK = false
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				if !opts.Retry503 {
+					o.Err = fmt.Errorf("%s: HTTP 503: %s", req.Program, data)
+					return o
+				}
+				o.Retries503++
+			} else {
+				o.Retries429++
+			}
+			if o.Retries429+o.Retries503 > 1000 {
+				o.Err = fmt.Errorf("gave up after %d backpressure retries", o.Retries429+o.Retries503)
+				return o
 			}
 			time.Sleep(50 * time.Millisecond)
 		default:
-			return 0, retries, false, fmt.Errorf("%s: HTTP %d: %s", req.Program, resp.StatusCode, data)
+			o.Err = fmt.Errorf("%s: HTTP %d: %s", req.Program, resp.StatusCode, data)
+			return o
 		}
 	}
 }

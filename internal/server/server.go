@@ -74,6 +74,11 @@ type Config struct {
 	FlightSlow     int
 	FlightFailed   int
 	FlightRejected int
+	// BackendID names this daemon instance in a fleet: /healthz reports
+	// it and every submit outcome carries it as X-Hippocrates-Backend, so
+	// a router (cmd/hippocratesfleet) and the chaos harness can attribute
+	// responses to nodes. Empty means standalone (no header, no field).
+	BackendID string
 	// Log receives one line per job (nil = silent).
 	Log io.Writer
 }
@@ -183,6 +188,12 @@ type Server struct {
 	windows    map[string]*obs.Windowed
 	phaseAlloc map[string]uint64
 
+	// drainMu serializes submits against BeginDrain: submitters hold the
+	// read side across the draining check and the shard send, so the
+	// write side can flip the flag and close the shard channels knowing
+	// no send is in flight (sending on a closed channel would panic).
+	drainMu sync.RWMutex
+
 	inFlight  atomic.Int64
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -258,6 +269,8 @@ func (s *Server) SubmitTraced(req *cli.Request, traceID string) (*Job, error) {
 	if traceID == "" {
 		traceID = NewTraceID()
 	}
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -556,15 +569,28 @@ func (s *Server) runJob(job *Job) {
 	finish(data, nil)
 }
 
-// Shutdown drains the pool: no new submissions are accepted, queued jobs
-// run to completion (bounded by ctx), then the workers exit.
-func (s *Server) Shutdown(ctx context.Context) error {
+// BeginDrain flips the daemon into drain mode without waiting: new
+// submissions fail with ErrDraining (503 + Retry-After over HTTP),
+// /healthz reports "draining", and the shard queues are closed so the
+// workers exit once the accepted backlog is done. Idempotent. It is the
+// SIGTERM handler's first move and the handoff hook a fleet router
+// observes: the instant /healthz flips, the router stops hashing new
+// keys here while in-flight jobs run to completion.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
 	if s.draining.Swap(true) {
-		return nil // already draining
+		return // already draining
 	}
 	for _, ch := range s.shards {
 		close(ch)
 	}
+}
+
+// Shutdown drains the pool: no new submissions are accepted, queued jobs
+// run to completion (bounded by ctx), then the workers exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

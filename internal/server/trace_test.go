@@ -155,7 +155,8 @@ func TestHealthzShardsAndDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable || doc.Status != "draining" || !doc.Draining {
 		t.Errorf("draining daemon: %d %+v", resp.StatusCode, doc)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "1" {
-		t.Errorf("draining Retry-After %q, want \"1\" (the 429 path's value)", got)
+	if got := resp.Header.Get("Retry-After"); !validRetryAfter(got) {
+		t.Errorf("draining Retry-After %q, want an integer in [%d,%d] (the 429 path's jitter range)",
+			got, RetryAfterMin, RetryAfterMax)
 	}
 }
