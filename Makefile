@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke fleet-smoke bench-server bench-optimize bench-fleet
+.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke fleet-smoke incremental-smoke bench-server bench-optimize bench-fleet bench-incremental
 
 build:
 	$(GO) build ./...
@@ -72,15 +72,26 @@ server-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/hippocratesfleet -smoke -quiet
 
+# incremental-smoke proves the summary-cached incremental analysis does
+# no harm: warm re-analyses over progen's deterministic edit sequence
+# must be byte-identical to cold runs with exact invalidation footprints,
+# the whole corpus must analyze identically with and without a shared
+# store, and a concurrent daemon sharing one store across jobs must serve
+# byte-identical responses (under the race detector).
+incremental-smoke:
+	$(GO) test -race -count=1 -run 'TestEditSequenceWarmIdentical|TestIncrementalCorpusByteIdentical|TestSoakStaticSummaryReuse' ./internal/progen/ ./internal/static/ ./internal/server/
+
 # verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
 # full suite under the race detector, the agreement harness, and the
-# telemetry, crash-validation, and repair-service smoke tests.
+# telemetry, crash-validation, incremental-analysis, and repair-service
+# smoke tests.
 verify: vet build
 	$(GO) test -race ./...
 	$(MAKE) agreement
 	$(MAKE) metrics-smoke
 	$(MAKE) crash-smoke
 	$(MAKE) optimize-smoke
+	$(MAKE) incremental-smoke
 	$(MAKE) server-smoke
 	$(MAKE) fleet-smoke
 
@@ -100,6 +111,14 @@ bench-server:
 # set to BENCH_optimize.json.
 bench-optimize:
 	BENCH_OPTIMIZE_OUT=$(CURDIR)/BENCH_optimize.json $(GO) test -run '^TestWriteOptSweepJSON$$' -count=1 -v ./internal/bench/
+
+# bench-incremental replays the deterministic layered edit sequence
+# (51 functions, 6 edits) comparing a cold whole-module static analysis
+# against a warm summary-store-backed one per edit, and writes per-edit
+# cold/warm times, speedups, hit counts, and the byte-identity bit to
+# BENCH_incremental.json.
+bench-incremental:
+	BENCH_INCREMENTAL_OUT=$(CURDIR)/BENCH_incremental.json $(GO) test -run '^TestWriteIncrSweepJSON$$' -count=1 -v ./internal/bench/
 
 # bench-fleet measures routed cold/warm corpus throughput at 1, 2, and 3
 # backends plus a kill drill (one backend killed mid-load: zero accepted

@@ -9,6 +9,7 @@ package alias
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"hippocrates/internal/ir"
@@ -85,6 +86,35 @@ type Analysis struct {
 	// queries counts alias/points-to lookups since construction (atomic:
 	// the fixer may consult the analysis from concurrent pipelines).
 	queries atomic.Int64
+
+	// externID is the shared opaque object's ID; retCache memoizes the
+	// returned-pointer nodes per callee (the lazy returnsOf cache).
+	externID int
+	retCache map[*ir.Func][]int
+
+	// refIndex resolves canonical object refs; refs and refRank cache each
+	// object's canonical ref string and its lexicographic rank (all built
+	// lazily together; see buildRefIndex).
+	refOnce  sync.Once
+	refIndex map[string]int
+	refs     []string
+	refRank  []int
+	// digestBuf is FuncDigest's reusable encoding scratch.
+	digestBuf []byte
+
+	// consHits / consMisses count constraint-store traffic for this run.
+	consHits, consMisses int
+
+	// fps memoizes each function's content hash for this run: the alias
+	// layer keys constraint lists on it and the static layer folds it into
+	// summary cache keys, and sha-hashing every body twice would double an
+	// otherwise-warm run's floor.
+	fps map[*ir.Func]string
+}
+
+// ConsStats reports one run's constraint-store traffic.
+type ConsStats struct {
+	Hits, Misses int
 }
 
 // Queries returns how many alias/points-to queries have been answered
@@ -93,19 +123,54 @@ func (a *Analysis) Queries() int64 { return a.queries.Load() }
 
 // Analyze builds and solves the constraint system for the module.
 func Analyze(mod *ir.Module) *Analysis {
+	return AnalyzeWithStore(mod, nil)
+}
+
+// AnalyzeWithStore is Analyze with a constraint store: each function's
+// canonical constraint list is fetched by body fingerprint when cached
+// and generated (and stored) otherwise. The solve is always whole-module
+// — a one-function edit can change any function's points-to sets — but
+// the per-function generate step, the bulk of the body walking, is
+// skipped for every unchanged function. A nil store generates every
+// list; the result is identical either way because cold and warm runs
+// share the apply step. Per-run traffic is reported by ConsStatsOf.
+func AnalyzeWithStore(mod *ir.Module, store ConstraintStore) *Analysis {
 	a := &Analysis{
 		mod:        mod,
 		nodeOf:     make(map[ir.Value]int),
 		copyEdges:  make(map[int][]int),
 		loadEdges:  make(map[int][]int),
 		storeEdges: make(map[int][]int),
+		retCache:   make(map[*ir.Func][]int),
+		fps:        make(map[*ir.Func]string),
 	}
-	a.collect()
+	a.collect(store)
 	a.solve()
 	return a
 }
 
-// node interns a pointer value.
+// ConsStatsOf returns this run's constraint-store hit/miss counts (zero
+// when the analysis ran without a store).
+func (a *Analysis) ConsStatsOf() ConsStats {
+	return ConsStats{Hits: a.consHits, Misses: a.consMisses}
+}
+
+// Fingerprint returns f's content hash, memoized for this analysis's
+// lifetime. Callers must not mutate f afterwards — the memo has no way
+// to notice. The incremental pipeline respects that: edits build a new
+// Analysis per run.
+func (a *Analysis) Fingerprint(f *ir.Func) string {
+	if fp, ok := a.fps[f]; ok {
+		return fp
+	}
+	fp := ir.FuncFingerprint(f)
+	a.fps[f] = fp
+	return fp
+}
+
+// node interns a pointer value. Its points-to set starts nil and is
+// allocated by ptsAt on first write: most nodes never gain objects, and
+// eager empty maps dominated warm incremental runs.
 func (a *Analysis) node(v ir.Value) int {
 	if n, ok := a.nodeOf[v]; ok {
 		return n
@@ -113,8 +178,17 @@ func (a *Analysis) node(v ir.Value) int {
 	n := len(a.values)
 	a.nodeOf[v] = n
 	a.values = append(a.values, v)
-	a.pts = append(a.pts, make(map[int]bool))
+	a.pts = append(a.pts, nil)
 	return n
+}
+
+// ptsAt returns node n's points-to set for writing, allocating it lazily.
+// Read sites index a.pts directly — ranging a nil map is fine.
+func (a *Analysis) ptsAt(n int) map[int]bool {
+	if a.pts[n] == nil {
+		a.pts[n] = make(map[int]bool, 2)
+	}
+	return a.pts[n]
 }
 
 func (a *Analysis) newObject(kind ObjKind, site ir.Value, fn *ir.Func, pm bool) *Object {
@@ -139,69 +213,44 @@ func allocKind(name string) (ObjKind, bool) {
 	return 0, false
 }
 
-func (a *Analysis) collect() {
+// collect seeds the global objects, then replays every function's
+// canonical constraint list (cached by body fingerprint when a store is
+// present, generated otherwise).
+func (a *Analysis) collect(store ConstraintStore) {
 	// Globals: the value @g points to the object g.
 	for _, g := range a.mod.Globals {
 		o := a.newObject(ObjGlobal, g, nil, g.PM)
-		n := a.node(g)
-		a.pts[n][o.ID] = true
+		a.ptsAt(a.node(g))[o.ID] = true
 	}
 	// One shared opaque object for pointers materialized from integers.
-	extern := a.newObject(ObjExtern, ir.Null(), nil, false)
-
-	// returnsOf collects the returned pointer values per function.
-	returnsOf := make(map[*ir.Func][]int)
+	a.externID = a.newObject(ObjExtern, ir.Null(), nil, false).ID
 
 	for _, f := range a.mod.Funcs {
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				switch in.Op {
-				case ir.OpAlloca:
-					o := a.newObject(ObjAlloca, in, f, false)
-					a.pts[a.node(in)][o.ID] = true
-				case ir.OpPtrAdd:
-					// Field-insensitive: derived pointers alias the base.
-					a.addCopy(a.node(in.Args[0]), a.node(in))
-				case ir.OpLoad:
-					if ir.IsPtr(in.Ty) {
-						p := a.node(in.Args[0])
-						a.loadEdges[p] = append(a.loadEdges[p], a.node(in))
-					}
-				case ir.OpStore, ir.OpNTStore:
-					if ir.IsPtr(in.StoreTy) {
-						p := a.node(in.Args[1])
-						a.storeEdges[p] = append(a.storeEdges[p], a.node(in.Args[0]))
-					}
-				case ir.OpIntToPtr:
-					a.pts[a.node(in)][extern.ID] = true
-				case ir.OpCall:
-					callee := in.Callee
-					if kind, isAlloc := allocKind(callee.Name); isAlloc {
-						o := a.newObject(kind, in, f, kind == ObjPM)
-						a.pts[a.node(in)][o.ID] = true
-						continue
-					}
-					if callee.IsDecl() {
-						// memcpy/memset return their destination.
-						if (callee.Name == "memcpy" || callee.Name == "memset") && in.HasResult() {
-							a.addCopy(a.node(in.Args[0]), a.node(in))
-						}
-						continue
-					}
-					for i, arg := range in.Args {
-						if ir.IsPtr(callee.Params[i].Ty) {
-							a.addCopy(a.node(arg), a.node(callee.Params[i]))
-						}
-					}
-					if in.HasResult() && ir.IsPtr(in.Ty) {
-						dst := a.node(in)
-						for _, src := range returnsOfFunc(a, callee, returnsOf) {
-							a.addCopy(src, dst)
-						}
-					}
-				case ir.OpRet:
-					// Handled lazily by returnsOfFunc.
-				}
+		if f.IsDecl() {
+			continue
+		}
+		var cons []Cons
+		if store != nil {
+			fp := a.Fingerprint(f)
+			if cached, ok := store.GetCons(fp); ok {
+				a.consHits++
+				cons = cached
+			} else {
+				a.consMisses++
+				cons = genConstraints(f)
+				store.PutCons(fp, cons)
+			}
+		} else {
+			cons = genConstraints(f)
+		}
+		if err := a.applyConstraints(f, cons); err != nil {
+			// A fingerprint-keyed list can only fail to resolve against a
+			// body it was not generated from; regenerating from the actual
+			// body cannot fail.
+			a.consHits--
+			a.consMisses++
+			if err := a.applyConstraints(f, genConstraints(f)); err != nil {
+				panic("alias: fresh constraints failed to apply: " + err.Error())
 			}
 		}
 	}
@@ -243,20 +292,29 @@ func (a *Analysis) solve() {
 			}
 		}
 		for src, dsts := range a.copyEdges {
+			if len(a.pts[src]) == 0 {
+				continue
+			}
 			for _, dst := range dsts {
-				union(a.pts[dst], a.pts[src])
+				union(a.ptsAt(dst), a.pts[src])
 			}
 		}
 		for p, dsts := range a.loadEdges {
 			for o := range a.pts[p] {
+				if len(a.objPts[o]) == 0 {
+					continue
+				}
 				for _, dst := range dsts {
-					union(a.pts[dst], a.objPts[o])
+					union(a.ptsAt(dst), a.objPts[o])
 				}
 			}
 		}
 		for p, srcs := range a.storeEdges {
 			for o := range a.pts[p] {
 				for _, src := range srcs {
+					if len(a.pts[src]) == 0 {
+						continue
+					}
 					union(a.objPts[o], a.pts[src])
 				}
 			}

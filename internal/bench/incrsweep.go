@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/progen"
+	"hippocrates/internal/static"
+)
+
+// Incremental-analysis sweep: replay progen's deterministic edit
+// sequence over a layered module (DefaultLayeredConfig: 51 functions)
+// and compare, per edit, a cold whole-module analysis against a warm
+// incremental one backed by the summary store primed by the runs before
+// it. `make bench-incremental` writes the result to
+// BENCH_incremental.json.
+
+// IncrColdRuns is how many times each cold analysis is repeated (best
+// time kept) to shave scheduler noise. The warm run is timed once: its
+// first execution is the number an editor loop actually experiences,
+// and repeating it would measure a fully-hit store instead.
+const IncrColdRuns = 3
+
+// IncrEdit is one edit step's cold/warm comparison.
+type IncrEdit struct {
+	Edit string `json:"edit"`
+	Kind string `json:"kind"`
+	// SummaryNeutral marks edits that change a function's body but not
+	// its summary — the common case an incremental analysis exists for.
+	SummaryNeutral bool    `json:"summary_neutral"`
+	ColdNs         int64   `json:"cold_ns"`
+	WarmNs         int64   `json:"warm_ns"`
+	Speedup        float64 `json:"speedup"`
+	SumHits        int     `json:"summary_hits"`
+	SumMisses      int     `json:"summary_misses"`
+	ConsHits       int     `json:"constraint_hits"`
+	ConsMisses     int     `json:"constraint_misses"`
+	HitRatio       float64 `json:"hit_ratio"`
+	// Identical is the do-no-harm bit: warm summary, reports, and lints
+	// equal the cold run's.
+	Identical bool `json:"identical"`
+}
+
+// IncrReport is the JSON document `make bench-incremental` writes.
+type IncrReport struct {
+	Benchmark string `json:"benchmark"`
+	Config    struct {
+		Leaves   int `json:"leaves"`
+		Mids     int `json:"mids"`
+		LeafOps  int `json:"leaf_ops"`
+		PMCells  int `json:"pm_cells"`
+		Funcs    int `json:"funcs"`
+		ColdRuns int `json:"cold_runs"`
+	} `json:"config"`
+	// PrimeNs is the first full analysis that fills the store — by
+	// construction the same work as a cold run plus store writes.
+	PrimeNs int64      `json:"prime_ns"`
+	Edits   []IncrEdit `json:"edits"`
+	Totals  struct {
+		Edits          int     `json:"edits"`
+		ColdNs         int64   `json:"cold_ns"`
+		WarmNs         int64   `json:"warm_ns"`
+		Speedup        float64 `json:"speedup"`
+		MinSpeedup     float64 `json:"min_speedup"`
+		NeutralSpeedup float64 `json:"neutral_speedup"`
+		AllIdentical   bool    `json:"all_identical"`
+	} `json:"totals"`
+}
+
+func timeAnalysis(m *ir.Module, store *static.Store, runs int) (*static.Result, int64, error) {
+	var best int64
+	var res *static.Result
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		r, err := static.AnalyzeWithStore(m, "main", store)
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, 0, err
+		}
+		if res == nil || elapsed < best {
+			best = elapsed
+		}
+		res = r
+	}
+	return res, best, nil
+}
+
+func sameVerdicts(cold, warm *static.Result) bool {
+	return cold.Summary() == warm.Summary() &&
+		reflect.DeepEqual(cold.Reports, warm.Reports) &&
+		reflect.DeepEqual(cold.Lints, warm.Lints) &&
+		cold.Funcs == warm.Funcs
+}
+
+// MeasureIncrSweep builds the layered module, primes a summary store,
+// then walks the edit sequence comparing cold vs warm per step.
+func MeasureIncrSweep(cfg progen.LayeredConfig) (*IncrReport, error) {
+	m := progen.Layered(cfg)
+	rep := &IncrReport{Benchmark: "IncrementalSweep"}
+	rep.Config.Leaves = cfg.Leaves
+	rep.Config.Mids = cfg.Mids
+	rep.Config.LeafOps = cfg.LeafOps
+	rep.Config.PMCells = cfg.PMCells
+	rep.Config.ColdRuns = IncrColdRuns
+	defined := 0
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			defined++
+		}
+	}
+	rep.Config.Funcs = defined
+
+	store := static.NewStore(0)
+	start := time.Now()
+	if _, err := static.AnalyzeWithStore(m, "main", store); err != nil {
+		return nil, fmt.Errorf("prime: %w", err)
+	}
+	rep.PrimeNs = time.Since(start).Nanoseconds()
+
+	rep.Totals.AllIdentical = true
+	rep.Totals.MinSpeedup = 0
+	var neutralCold, neutralWarm int64
+	for _, e := range progen.Edits(cfg) {
+		if err := progen.ApplyEdit(m, e); err != nil {
+			return nil, err
+		}
+		// Warm first: it must answer from the store primed by the runs
+		// before this edit, exactly like an editor loop. The cold runs
+		// afterwards are storeless and cannot pollute it.
+		warm, warmNs, err := timeAnalysis(m, store, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: warm: %w", e, err)
+		}
+		cold, coldNs, err := timeAnalysis(m, nil, IncrColdRuns)
+		if err != nil {
+			return nil, fmt.Errorf("%s: cold: %w", e, err)
+		}
+		ed := IncrEdit{
+			Edit:           e.String(),
+			Kind:           e.Kind.String(),
+			SummaryNeutral: e.Kind != progen.EditAddPersist,
+			ColdNs:         coldNs,
+			WarmNs:         warmNs,
+			SumHits:        warm.Incr.SumHits,
+			SumMisses:      warm.Incr.SumMisses,
+			ConsHits:       warm.Incr.ConsHits,
+			ConsMisses:     warm.Incr.ConsMisses,
+			HitRatio:       warm.Incr.HitRatio(),
+			Identical:      sameVerdicts(cold, warm),
+		}
+		if warmNs > 0 {
+			ed.Speedup = float64(coldNs) / float64(warmNs)
+		}
+		rep.Edits = append(rep.Edits, ed)
+		rep.Totals.Edits++
+		rep.Totals.ColdNs += coldNs
+		rep.Totals.WarmNs += warmNs
+		if ed.SummaryNeutral {
+			neutralCold += coldNs
+			neutralWarm += warmNs
+		}
+		if !ed.Identical {
+			rep.Totals.AllIdentical = false
+		}
+		if rep.Totals.MinSpeedup == 0 || ed.Speedup < rep.Totals.MinSpeedup {
+			rep.Totals.MinSpeedup = ed.Speedup
+		}
+	}
+	if rep.Totals.WarmNs > 0 {
+		rep.Totals.Speedup = float64(rep.Totals.ColdNs) / float64(rep.Totals.WarmNs)
+	}
+	if neutralWarm > 0 {
+		rep.Totals.NeutralSpeedup = float64(neutralCold) / float64(neutralWarm)
+	}
+	return rep, nil
+}
+
+// WriteIncrSweepJSON runs MeasureIncrSweep at the default scale and
+// writes the report to path as indented JSON; `make bench-incremental`
+// drives it.
+func WriteIncrSweepJSON(path string) (*IncrReport, error) {
+	rep, err := MeasureIncrSweep(progen.DefaultLayeredConfig())
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return rep, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"hippocrates/internal/progen"
+)
+
+// TestIncrSweepSpeedup pins the incremental-analysis outcome: over the
+// deterministic layered edit sequence, every warm re-analysis is
+// byte-identical to a cold one (the do-no-harm bit), summary-neutral
+// edits invalidate exactly the edited function, and warm runs are
+// decisively faster. The speedup floors here are deliberately below the
+// ~10x a quiet machine measures (see BENCH_incremental.json) so the test
+// gates regressions, not scheduler noise.
+func TestIncrSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed edit sweep")
+	}
+	rep, err := MeasureIncrSweep(progen.DefaultLayeredConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Config.Funcs < 50 {
+		t.Errorf("layered module has %d functions, want >= 50", rep.Config.Funcs)
+	}
+	if !rep.Totals.AllIdentical {
+		t.Error("some warm result differed from its cold run; incremental analysis must be byte-identical")
+	}
+	for _, e := range rep.Edits {
+		if e.SummaryNeutral && e.SumMisses != 1 {
+			t.Errorf("%s: %d summary misses, want exactly 1 (only the edited function)", e.Edit, e.SumMisses)
+		}
+		if !e.SummaryNeutral && e.SumMisses < 3 {
+			t.Errorf("%s: %d summary misses, want >= 3 (edit target plus transitive callers)", e.Edit, e.SumMisses)
+		}
+		if e.SumHits == 0 {
+			t.Errorf("%s: no summary hits on a warm run", e.Edit)
+		}
+	}
+	if rep.Totals.Speedup < 3 {
+		t.Errorf("total warm speedup %.1fx, want >= 3x", rep.Totals.Speedup)
+	}
+	if rep.Totals.NeutralSpeedup < 4 {
+		t.Errorf("summary-neutral warm speedup %.1fx, want >= 4x", rep.Totals.NeutralSpeedup)
+	}
+	t.Logf("speedup: total %.1fx, neutral %.1fx, min %.1fx over %d edits",
+		rep.Totals.Speedup, rep.Totals.NeutralSpeedup, rep.Totals.MinSpeedup, rep.Totals.Edits)
+}
+
+// TestWriteIncrSweepJSON regenerates BENCH_incremental.json when the
+// BENCH_INCREMENTAL_OUT environment variable names the output path;
+// `make bench-incremental` drives it. Skipped otherwise.
+func TestWriteIncrSweepJSON(t *testing.T) {
+	path := os.Getenv("BENCH_INCREMENTAL_OUT")
+	if path == "" {
+		t.Skip("set BENCH_INCREMENTAL_OUT to write the incremental-sweep report")
+	}
+	rep, err := WriteIncrSweepJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.1fx total, %.1fx neutral over %d edits (identical=%v)",
+		path, rep.Totals.Speedup, rep.Totals.NeutralSpeedup, rep.Totals.Edits, rep.Totals.AllIdentical)
+}

@@ -11,6 +11,7 @@ import (
 	"hippocrates/internal/core"
 	"hippocrates/internal/crashsim"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/static"
 	"hippocrates/internal/trace"
 )
 
@@ -96,6 +97,11 @@ type Request struct {
 	CrashCache *crashsim.VerdictCache `json:"-"`
 	// CrashWorkers sizes the crashsim worker pool (0 = crashsim default).
 	CrashWorkers int `json:"-"`
+	// SummaryStore, when non-nil, backs the static analyses of this run
+	// with cached function summaries and alias constraints shared with
+	// other runs (the daemon's summary store). Results are byte-identical
+	// with or without it.
+	SummaryStore *static.Store `json:"-"`
 	// ReplayTrace, when non-nil in repair mode, skips the tracing phase
 	// and detects against this pre-recorded trace (hippocrates -trace).
 	ReplayTrace *trace.Trace `json:"-"`
@@ -210,6 +216,7 @@ func (q *Request) Key() string {
 	c.CrashLog = nil
 	c.CrashCache = nil
 	c.CrashWorkers = 0
+	c.SummaryStore = nil
 	c.ReplayTrace = nil
 	_ = c.Validate() // normalize defaults; an invalid request still hashes
 	data, _ := json.Marshal(&c)
@@ -243,6 +250,7 @@ func (q *Request) coreOptions() core.Options {
 		DisableHoisting: q.IntraOnly,
 		StepLimit:       q.StepLimit,
 		DebugScores:     q.DebugScores,
+		SummaryStore:    q.SummaryStore,
 	}
 	switch q.Flush {
 	case "clflushopt":

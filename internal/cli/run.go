@@ -342,7 +342,7 @@ func runCheck(q *Request, mod *ir.Module, root *obs.Span, opts core.Options, res
 }
 
 func runStaticCheck(q *Request, mod *ir.Module, root *obs.Span, resp *Response) error {
-	res, err := static.AnalyzeObs(mod, q.Entry, root)
+	res, err := static.AnalyzeObsStore(mod, q.Entry, q.SummaryStore, root)
 	if err != nil {
 		return err
 	}

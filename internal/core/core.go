@@ -24,6 +24,7 @@ import (
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
 	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/static"
 	"hippocrates/internal/trace"
 )
 
@@ -79,6 +80,12 @@ type Options struct {
 	// enumerated post-crash image (see internal/crashsim). Entry, args,
 	// limits, and the obs span default to the pipeline's own.
 	CrashCheck *crashsim.Options
+	// SummaryStore, when non-nil, backs every static analysis the
+	// pipeline runs with cached function summaries and alias
+	// constraints, so repeated jobs over the same source family — and
+	// StaticRepair's own before/after double analysis — replay instead
+	// of recompute. Results are byte-identical either way.
+	SummaryStore *static.Store
 }
 
 // FixKind classifies an applied fix.
@@ -249,7 +256,12 @@ func siteOf(in *ir.Instr) string {
 // recorded against; it is mutated in place by Apply.
 func NewFixer(mod *ir.Module, tr *trace.Trace, opts Options) *Fixer {
 	asp := opts.Obs.Start("alias-analyze")
-	an := alias.Analyze(mod)
+	var an *alias.Analysis
+	if opts.SummaryStore != nil {
+		an = alias.AnalyzeWithStore(mod, opts.SummaryStore.Alias())
+	} else {
+		an = alias.Analyze(mod)
+	}
 	var marks *alias.Marks
 	if opts.Marks == TraceAA {
 		marks = alias.TraceMarks(an, mod, tr)

@@ -27,7 +27,15 @@ type StaticPipelineResult struct {
 func StaticRepair(mod *ir.Module, entry string, opts Options) (out *StaticPipelineResult, err error) {
 	defer guard("static repair", &err)
 	sp := opts.Obs
-	sres, err := static.AnalyzeObs(mod, entry, sp)
+	// Both analysis passes share a summary store — the caller's long-lived
+	// one when provided, an ephemeral one otherwise — so the post-repair
+	// re-analysis replays every function the repair plan did not touch
+	// instead of recomputing the whole module from scratch.
+	store := opts.SummaryStore
+	if store == nil {
+		store = static.NewStore(0)
+	}
+	sres, err := static.AnalyzeObsStore(mod, entry, store, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +52,7 @@ func StaticRepair(mod *ir.Module, entry string, opts Options) (out *StaticPipeli
 	out.Fix = fx.Result()
 	rsp := sp.Start("revalidate")
 	defer rsp.End()
-	after, err := static.AnalyzeObs(mod, entry, rsp)
+	after, err := static.AnalyzeObsStore(mod, entry, store, rsp)
 	if err != nil {
 		return nil, fmt.Errorf("static repair re-analysis: %w", err)
 	}

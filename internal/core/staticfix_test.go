@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"hippocrates/internal/lang"
+	"hippocrates/internal/static"
+)
+
+// TestStaticRepairRevalidationReusesSummaries: the post-repair
+// re-analysis must replay summaries for every function the repair plan
+// did not touch, instead of recomputing the module from scratch.
+func TestStaticRepairRevalidationReusesSummaries(t *testing.T) {
+	const src = `
+pm int cell[64];
+void put(int *p, int v) {
+	*p = v;
+	clwb(p);
+	sfence();
+}
+int main() {
+	put(&cell[0], 1);
+	cell[8] = 9;
+	pm_checkpoint();
+	return cell[8];
+}
+`
+	m, err := lang.Compile("t.pmc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := StaticRepair(m, "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fix == nil || len(res.Fix.Fixes) == 0 {
+		t.Fatal("expected the bare store in main to be repaired")
+	}
+	if !res.After.Clean() {
+		t.Fatalf("revalidation not clean:\n%s", res.After.Summary())
+	}
+	// put was not touched by the repair: its summary (and both functions'
+	// alias constraints when bodies are unchanged) must come from the
+	// store primed by the Before pass.
+	if res.After.Incr.SumHits == 0 {
+		t.Errorf("revalidation replayed nothing: incr = %+v", res.After.Incr)
+	}
+	if res.Before.Incr.SumMisses == 0 {
+		t.Errorf("before pass should prime the store: incr = %+v", res.Before.Incr)
+	}
+}
+
+// TestStaticRepairSharesCallerStore: a caller-provided store must carry
+// summaries across whole StaticRepair invocations — the second repair of
+// identical source starts fully warm.
+func TestStaticRepairSharesCallerStore(t *testing.T) {
+	const src = `
+pm int cell[64];
+int main() {
+	cell[0] = 7;
+	pm_checkpoint();
+	return cell[0];
+}
+`
+	store := static.NewStore(0)
+	m1, err := lang.Compile("t.pmc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := StaticRepair(m1, "main", Options{SummaryStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := lang.Compile("t.pmc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := StaticRepair(m2, "main", Options{SummaryStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Before.Incr.SumHits == 0 || second.Before.Incr.SumMisses != 0 {
+		t.Errorf("second repair should start fully warm: incr = %+v", second.Before.Incr)
+	}
+	// Do no harm: identical input, identical verdicts either way.
+	if first.Before.Summary() != second.Before.Summary() ||
+		first.After.Summary() != second.After.Summary() {
+		t.Error("warm repair verdicts differ from cold")
+	}
+	if len(first.Fix.Fixes) != len(second.Fix.Fixes) {
+		t.Errorf("fix counts differ: cold %d, warm %d", len(first.Fix.Fixes), len(second.Fix.Fixes))
+	}
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// FuncFingerprint content-hashes one function body in a canonical,
+// module-order-independent form: the signature, every block and
+// instruction (IDs, operands, opcode attributes, and source locations —
+// locations matter because analysis reports carry them), the sizes the
+// analyses read off types, plus the declarations of every referenced
+// global (name, layout size, PM-ness, init image) and the signature of
+// every referenced callee. Two functions fingerprint equal exactly when
+// every analysis that looks only at this body — and at the named
+// interfaces of what it references — must produce identical canonical
+// results. Callee *bodies* are deliberately excluded: incremental
+// analyses chain them in separately (a callee's summary hash feeds the
+// caller's cache key), which is what makes invalidation transitive
+// by construction.
+//
+// The result is memoized on the function: structural mutations through
+// Block helpers and Renumber invalidate it, so repeated analyses of an
+// unchanged body hash once. Like Renumber, memoization is not safe for
+// concurrent calls on the same function; analyses run single-threaded
+// over a module and concurrent jobs parse their own copies.
+func FuncFingerprint(f *Func) string {
+	if f.fp != "" {
+		return f.fp
+	}
+	h := newFpHasher()
+	h.str(f.Name)
+	for _, p := range f.Params {
+		h.str(p.Name)
+		h.typ(p.Ty)
+	}
+	h.str("->")
+	h.typ(f.Ret)
+
+	// Referenced globals and callees, deduplicated in first-use order
+	// (body order, so the set and its order are body-determined).
+	var globals []*Global
+	var callees []*Func
+	seenG := map[*Global]bool{}
+	seenF := map[*Func]bool{}
+	noteVal := func(v Value) {
+		if g, ok := v.(*Global); ok && !seenG[g] {
+			seenG[g] = true
+			globals = append(globals, g)
+		}
+	}
+
+	for _, b := range f.Blocks {
+		h.str("^" + b.Name)
+		for _, in := range b.Instrs {
+			h.u64(uint64(in.ID))
+			h.u64(uint64(in.Op))
+			h.str(in.Name)
+			h.typ(in.Ty)
+			for _, a := range in.Args {
+				h.operand(a)
+				noteVal(a)
+			}
+			if in.AllocTy != nil {
+				h.typ(in.AllocTy)
+			}
+			if in.StoreTy != nil {
+				h.typ(in.StoreTy)
+			}
+			h.i64(in.Scale)
+			h.i64(in.Disp)
+			h.u64(uint64(in.FlushK))
+			h.u64(uint64(in.FenceK))
+			if in.Callee != nil {
+				h.str("@" + in.Callee.Name)
+				if !seenF[in.Callee] {
+					seenF[in.Callee] = true
+					callees = append(callees, in.Callee)
+				}
+			}
+			for _, s := range in.Succs {
+				h.str("^" + s.Name)
+			}
+			h.str(in.Loc.File)
+			h.u64(uint64(in.Loc.Line))
+		}
+	}
+
+	h.str("globals")
+	for _, g := range globals {
+		h.str(g.Name)
+		h.typ(g.Elem)
+		if g.PM {
+			h.str("pm")
+		}
+		h.buf = append(h.buf, g.Init...)
+		h.u64(uint64(len(g.Init)))
+	}
+	h.str("callees")
+	for _, c := range callees {
+		h.str(c.Sig())
+		if c.IsDecl() {
+			h.str("decl")
+		}
+	}
+	sum := sha256.Sum256(h.buf)
+	f.fp = hex.EncodeToString(sum[:])
+	return f.fp
+}
+
+// fpHasher accumulates the canonical byte encoding. Every field is
+// length- or tag-delimited so adjacent fields cannot be confused.
+type fpHasher struct {
+	buf []byte
+}
+
+func newFpHasher() *fpHasher {
+	return &fpHasher{buf: make([]byte, 0, 4096)}
+}
+
+func (h *fpHasher) str(s string) {
+	h.buf = binary.AppendUvarint(h.buf, uint64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
+func (h *fpHasher) u64(v uint64) {
+	h.buf = binary.AppendUvarint(h.buf, v)
+}
+
+func (h *fpHasher) i64(v int64) {
+	h.buf = binary.AppendVarint(h.buf, v)
+}
+
+func (h *fpHasher) typ(t Type) {
+	if t == nil {
+		h.str("<nil>")
+		return
+	}
+	// The type string plus its computed size: struct types print by name,
+	// so the size pins the layout the analyses actually consume.
+	h.str(t.String())
+	h.i64(t.Size())
+}
+
+// operand encodes one operand positionally: constants by type and value,
+// globals by name, parameters by index, instruction results by ID.
+func (h *fpHasher) operand(v Value) {
+	switch x := v.(type) {
+	case *Const:
+		h.buf = append(h.buf, 'c')
+		h.typ(x.Ty)
+		h.i64(x.Val)
+	case *Global:
+		h.buf = append(h.buf, 'g')
+		h.str(x.Name)
+	case *Param:
+		h.buf = append(h.buf, 'p')
+		h.u64(uint64(x.Index))
+	case *Instr:
+		h.buf = append(h.buf, 'r')
+		h.u64(uint64(x.ID))
+	default:
+		h.buf = append(h.buf, '?')
+		h.str(v.OperandString())
+	}
+}

@@ -1,0 +1,188 @@
+package ir_test
+
+import (
+	"testing"
+
+	"hippocrates/internal/ir"
+	"hippocrates/internal/lang"
+)
+
+func compileFp(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := lang.Compile("fp.pmc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func fpOf(t *testing.T, m *ir.Module, name string) string {
+	t.Helper()
+	f := m.Func(name)
+	if f == nil || f.IsDecl() {
+		t.Fatalf("function %q not found or has no body", name)
+	}
+	return ir.FuncFingerprint(f)
+}
+
+const fpBase = `
+pm int cell[16];
+void put(int *p, int v) {
+	*p = v;
+	clwb(p);
+	sfence();
+}
+int main() {
+	put(&cell[0], 7);
+	pm_checkpoint();
+	return cell[0];
+}
+`
+
+// Identical bodies must fingerprint equal even when they live in
+// different module instances (the store is shared across jobs that
+// compile the same source independently).
+func TestFingerprintEqualAcrossModules(t *testing.T) {
+	m1 := compileFp(t, fpBase)
+	m2 := compileFp(t, fpBase)
+	for _, fn := range []string{"put", "main"} {
+		if a, b := fpOf(t, m1, fn), fpOf(t, m2, fn); a != b {
+			t.Errorf("%s: fingerprints differ across identical modules:\n%s\n%s", fn, a, b)
+		}
+	}
+}
+
+// The fingerprint must not depend on where the function sits in the
+// module: reordering unrelated definitions leaves it unchanged.
+func TestFingerprintIndependentOfModuleOrder(t *testing.T) {
+	// `put` sits on the same source lines in both modules, but an extra
+	// definition ahead of it shifts its position in the function list.
+	const fpBaseLine2 = `pm int cell[16];
+void put(int *p, int v) {
+	*p = v;
+	clwb(p);
+	sfence();
+}
+int main() {
+	put(&cell[0], 7);
+	pm_checkpoint();
+	return cell[0];
+}
+`
+	reordered := "int unrelated(int x) { return x + 1; }\n" + fpBaseLine2
+	base := "\n" + fpBaseLine2
+	m1 := compileFp(t, base)
+	m2 := compileFp(t, reordered)
+	if a, b := fpOf(t, m1, "put"), fpOf(t, m2, "put"); a != b {
+		t.Errorf("put: fingerprint depends on module-level ordering:\n%s\n%s", a, b)
+	}
+}
+
+// Any body change — opcode, operand, block structure, location — must
+// change the fingerprint.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpOf(t, compileFp(t, fpBase), "put")
+	variants := map[string]string{
+		"opcode (clwb -> clflushopt)": `
+pm int cell[16];
+void put(int *p, int v) {
+	*p = v;
+	clflushopt(p);
+	sfence();
+}
+int main() { put(&cell[0], 7); pm_checkpoint(); return cell[0]; }
+`,
+		"operand (store v+1)": `
+pm int cell[16];
+void put(int *p, int v) {
+	*p = v + 1;
+	clwb(p);
+	sfence();
+}
+int main() { put(&cell[0], 7); pm_checkpoint(); return cell[0]; }
+`,
+		"dropped instruction (no fence)": `
+pm int cell[16];
+void put(int *p, int v) {
+	*p = v;
+	clwb(p);
+}
+int main() { put(&cell[0], 7); pm_checkpoint(); return cell[0]; }
+`,
+		"block structure (branch)": `
+pm int cell[16];
+void put(int *p, int v) {
+	if (v > 0) { *p = v; }
+	clwb(p);
+	sfence();
+}
+int main() { put(&cell[0], 7); pm_checkpoint(); return cell[0]; }
+`,
+	}
+	for name, src := range variants {
+		if got := fpOf(t, compileFp(t, src), "put"); got == base {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+// A location-only change (same opcodes, shifted source lines) must still
+// change the fingerprint: analysis reports carry locations, so cached
+// results from the old body would replay stale line numbers.
+func TestFingerprintCoversLocations(t *testing.T) {
+	shifted := "\n" + fpBase // every Loc.Line moves down by one
+	a := fpOf(t, compileFp(t, fpBase), "put")
+	b := fpOf(t, compileFp(t, shifted), "put")
+	if a == b {
+		t.Error("fingerprint ignores source locations")
+	}
+}
+
+// The declarations of referenced globals are part of the contract: the
+// same body over a volatile cell must not collide with the PM version
+// (PM-ness decides whether stores are tracked at all).
+func TestFingerprintCoversReferencedGlobalDecls(t *testing.T) {
+	volatileCell := `
+int cell[16];
+void put(int *p, int v) {
+	*p = v;
+	clwb(p);
+	sfence();
+}
+int main() {
+	put(&cell[0], 7);
+	pm_checkpoint();
+	return cell[0];
+}
+`
+	a := fpOf(t, compileFp(t, fpBase), "main")
+	b := fpOf(t, compileFp(t, volatileCell), "main")
+	if a == b {
+		t.Error("fingerprint ignores the PM-ness of referenced globals")
+	}
+}
+
+// Callee signatures are covered (pointer-ness of parameters shapes alias
+// constraints), but callee bodies are not: a body-only callee change must
+// leave the caller's fingerprint alone — that is the callee summary
+// hash's job in the incremental cache key.
+func TestFingerprintExcludesCalleeBodies(t *testing.T) {
+	calleeBodyChanged := `
+pm int cell[16];
+void put(int *p, int v) {
+	*p = v;
+	sfence();
+	sfence();
+}
+int main() {
+	put(&cell[0], 7);
+	pm_checkpoint();
+	return cell[0];
+}
+`
+	a := fpOf(t, compileFp(t, fpBase), "main")
+	b := fpOf(t, compileFp(t, calleeBodyChanged), "main")
+	if a != b {
+		t.Error("caller fingerprint changed on a callee body-only edit")
+	}
+}

@@ -129,6 +129,11 @@ type Func struct {
 	// executors can skip (write-free) renumbering of clean functions and
 	// share clean modules across goroutines.
 	dirty bool
+	// fp memoizes FuncFingerprint for the current body. Structural
+	// mutations and Renumber clear it; in-place operand edits must be
+	// followed by Renumber before re-fingerprinting (the same contract
+	// Renumber's own doc already imposes on passes that change bodies).
+	fp string
 }
 
 // NewFunc creates a detached function. Use Module.AddFunc to register it.
@@ -202,6 +207,7 @@ func (f *Func) Renumber() {
 	f.nextID = id
 	f.numSlots = slot
 	f.dirty = false
+	f.fp = ""
 }
 
 // NumSlots returns the register-file size assigned by Renumber.
@@ -209,6 +215,13 @@ func (f *Func) NumSlots() int { return f.numSlots }
 
 // NeedsRenumber reports whether the function mutated since Renumber.
 func (f *Func) NeedsRenumber() bool { return f.dirty }
+
+// mutated records a structural body change: the function needs
+// renumbering and any memoized fingerprint is stale.
+func (f *Func) mutated() {
+	f.dirty = true
+	f.fp = ""
+}
 
 // InstrByID returns the instruction with the given ID, or nil. IDs are
 // only meaningful after Renumber.
@@ -260,7 +273,7 @@ func (b *Block) Func() *Func { return b.fn }
 // Append adds an instruction at the end of the block.
 func (b *Block) Append(in *Instr) *Instr {
 	in.blk = b
-	b.fn.dirty = true
+	b.fn.mutated()
 	b.Instrs = append(b.Instrs, in)
 	return in
 }
@@ -269,7 +282,7 @@ func (b *Block) Append(in *Instr) *Instr {
 func (b *Block) InsertAfter(pos, newIn *Instr) {
 	idx := b.indexOf(pos)
 	newIn.blk = b
-	b.fn.dirty = true
+	b.fn.mutated()
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[idx+2:], b.Instrs[idx+1:])
 	b.Instrs[idx+1] = newIn
@@ -279,7 +292,7 @@ func (b *Block) InsertAfter(pos, newIn *Instr) {
 func (b *Block) InsertBefore(pos, newIn *Instr) {
 	idx := b.indexOf(pos)
 	newIn.blk = b
-	b.fn.dirty = true
+	b.fn.mutated()
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[idx+1:], b.Instrs[idx:])
 	b.Instrs[idx] = newIn
@@ -292,7 +305,7 @@ func (b *Block) InsertBefore(pos, newIn *Instr) {
 // instructions still use.
 func (b *Block) RemoveInstr(in *Instr) int {
 	idx := b.indexOf(in)
-	b.fn.dirty = true
+	b.fn.mutated()
 	copy(b.Instrs[idx:], b.Instrs[idx+1:])
 	b.Instrs[len(b.Instrs)-1] = nil
 	b.Instrs = b.Instrs[:len(b.Instrs)-1]
@@ -307,7 +320,7 @@ func (b *Block) InsertAt(idx int, in *Instr) {
 		panic(fmt.Sprintf("ir: InsertAt index %d out of range in block ^%s", idx, b.Name))
 	}
 	in.blk = b
-	b.fn.dirty = true
+	b.fn.mutated()
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[idx+1:], b.Instrs[idx:])
 	b.Instrs[idx] = in

@@ -70,18 +70,26 @@ type JobsDoc struct {
 	Cached    int64 `json:"cached"`
 }
 
-// CacheDoc reports the three content-addressed caches. HitRatio is
+// CacheDoc reports the content-addressed caches. HitRatio is
 // response+artifact hits over response+artifact lookups (the service-level
-// ratio; verdict-cache traffic is reported separately because one job
-// makes thousands of verdict lookups and would drown the signal).
+// ratio; verdict- and summary-store traffic is reported separately because
+// one job makes per-image or per-function lookups by the hundreds and
+// would drown the job-level signal).
 type CacheDoc struct {
-	ResponseHits   int64   `json:"response_hits"`
-	ResponseMisses int64   `json:"response_misses"`
-	ArtifactHits   int64   `json:"artifact_hits"`
-	ArtifactMisses int64   `json:"artifact_misses"`
-	VerdictHits    int64   `json:"verdict_hits"`
-	VerdictMisses  int64   `json:"verdict_misses"`
-	HitRatio       float64 `json:"hit_ratio"`
+	ResponseHits   int64 `json:"response_hits"`
+	ResponseMisses int64 `json:"response_misses"`
+	ArtifactHits   int64 `json:"artifact_hits"`
+	ArtifactMisses int64 `json:"artifact_misses"`
+	VerdictHits    int64 `json:"verdict_hits"`
+	VerdictMisses  int64 `json:"verdict_misses"`
+	// Summary*/Constraint* count the incremental-analysis store's traffic:
+	// per-function static summaries and alias constraint lists replayed
+	// (hit) versus recomputed (miss) across all static jobs since boot.
+	SummaryHits      int64   `json:"summary_hits"`
+	SummaryMisses    int64   `json:"summary_misses"`
+	ConstraintHits   int64   `json:"constraint_hits"`
+	ConstraintMisses int64   `json:"constraint_misses"`
+	HitRatio         float64 `json:"hit_ratio"`
 }
 
 // FlightDoc reports the flight recorder's retained entry counts.
@@ -160,10 +168,13 @@ func (s *Server) Metrics() *MetricsDoc {
 	}
 	rh, rm := s.responses.stats()
 	ah, am, vh, vm := s.artifacts.stats()
+	ss := s.summaries.Stats()
 	doc.Cache = CacheDoc{
 		ResponseHits: rh, ResponseMisses: rm,
 		ArtifactHits: ah, ArtifactMisses: am,
 		VerdictHits: vh, VerdictMisses: vm,
+		SummaryHits: ss.SummaryHits, SummaryMisses: ss.SummaryMisses,
+		ConstraintHits: ss.ConsHits, ConstraintMisses: ss.ConsMisses,
 	}
 	if lookups := rh + rm + ah + am; lookups > 0 {
 		doc.Cache.HitRatio = float64(rh+ah) / float64(lookups)
@@ -287,8 +298,12 @@ func renderProm(snap *promSnapshot) ([]byte, error) {
 		Samples: []obs.PromSample{
 			{Labels: cacheLabels("artifact", "hit"), Value: float64(d.Cache.ArtifactHits)},
 			{Labels: cacheLabels("artifact", "miss"), Value: float64(d.Cache.ArtifactMisses)},
+			{Labels: cacheLabels("constraint", "hit"), Value: float64(d.Cache.ConstraintHits)},
+			{Labels: cacheLabels("constraint", "miss"), Value: float64(d.Cache.ConstraintMisses)},
 			{Labels: cacheLabels("response", "hit"), Value: float64(d.Cache.ResponseHits)},
 			{Labels: cacheLabels("response", "miss"), Value: float64(d.Cache.ResponseMisses)},
+			{Labels: cacheLabels("summary", "hit"), Value: float64(d.Cache.SummaryHits)},
+			{Labels: cacheLabels("summary", "miss"), Value: float64(d.Cache.SummaryMisses)},
 			{Labels: cacheLabels("verdict", "hit"), Value: float64(d.Cache.VerdictHits)},
 			{Labels: cacheLabels("verdict", "miss"), Value: float64(d.Cache.VerdictMisses)},
 		}}

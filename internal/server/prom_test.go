@@ -39,6 +39,8 @@ func goldenSnapshot() *promSnapshot {
 				ResponseHits: 2, ResponseMisses: 8,
 				ArtifactHits: 5, ArtifactMisses: 3,
 				VerdictHits: 900, VerdictMisses: 100,
+				SummaryHits: 40, SummaryMisses: 10,
+				ConstraintHits: 60, ConstraintMisses: 15,
 				HitRatio: 0.3888888888888889,
 			},
 			Phases: []PhaseLatencyDoc{

@@ -39,6 +39,7 @@ import (
 	"hippocrates/internal/cli"
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
+	"hippocrates/internal/static"
 )
 
 // Config sizes the service. The zero value gets sensible defaults from New.
@@ -170,6 +171,14 @@ type Server struct {
 	responses *responseCache
 	artifacts *artifactCache
 
+	// summaries is the daemon-wide incremental-analysis store: static jobs
+	// share canonicalized function summaries and alias constraints keyed by
+	// content hash, so a job whose functions were analyzed before — by any
+	// earlier job — replays them instead of recomputing. Results are
+	// byte-identical with or without it (the store key covers everything a
+	// summary depends on), so sharing across tenants is safe.
+	summaries *static.Store
+
 	// rec aggregates counters, gauges, and latency histograms over all
 	// finished jobs (per-job span trees stay on the jobs' own recorders —
 	// merging them would interleave span IDs).
@@ -239,6 +248,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		responses:  newResponseCache(cfg.ResponseCacheSize),
 		artifacts:  newArtifactCache(cfg.ArtifactCacheSize),
+		summaries:  static.NewStore(0),
 		rec:        obs.New(),
 		flight:     newFlightRecorder(cfg.FlightSlow, cfg.FlightFailed, cfg.FlightRejected),
 		windows:    make(map[string]*obs.Windowed),
@@ -549,7 +559,16 @@ func (s *Server) runJob(job *Job) {
 		gen = req.CrashCache.Generation()
 	}
 
+	// Static jobs run against the daemon-wide summary store: functions any
+	// earlier job already analyzed replay their cached summaries and alias
+	// constraints instead of being re-analyzed. The CrashCache pattern
+	// above applies — attach for the run, detach before the job is retained.
+	if req.Static {
+		req.SummaryStore = s.summaries
+	}
+
 	resp, err := cli.RunModule(req, mod, root)
+	req.SummaryStore = nil
 	if req.CrashCache != nil {
 		if req.CrashCache.Generation() != gen {
 			art.retireVerdicts(req.CrashCache)
@@ -559,6 +578,11 @@ func (s *Server) runJob(job *Job) {
 	if err != nil {
 		finish(nil, err)
 		return
+	}
+	if inc, ok := staticIncr(resp); ok {
+		s.logf("%s trace=%s summary-store: %d hits / %d misses (%.0f%% warm), cons %d/%d",
+			job.ID, job.TraceID, inc.SumHits, inc.SumMisses, 100*inc.HitRatio(),
+			inc.ConsHits, inc.ConsMisses)
 	}
 	data, err := resp.EncodeJSON()
 	if err != nil {
@@ -621,4 +645,26 @@ func (s *Server) logf(format string, args ...any) {
 		return
 	}
 	fmt.Fprintf(s.cfg.Log, "hippocratesd: "+format+"\n", args...)
+}
+
+// staticIncr extracts a static job's summary-store traffic from its
+// response: check mode's single analysis, or repair mode's before and
+// after passes summed (the two share one Result when no repair ran).
+func staticIncr(resp *cli.Response) (static.IncrStats, bool) {
+	switch {
+	case resp == nil:
+		return static.IncrStats{}, false
+	case resp.StaticCheck != nil:
+		return resp.StaticCheck.Incr, true
+	case resp.StaticResult != nil && resp.StaticResult.Before != nil:
+		inc := resp.StaticResult.Before.Incr
+		if after := resp.StaticResult.After; after != nil && after != resp.StaticResult.Before {
+			inc.SumHits += after.Incr.SumHits
+			inc.SumMisses += after.Incr.SumMisses
+			inc.ConsHits += after.Incr.ConsHits
+			inc.ConsMisses += after.Incr.ConsMisses
+		}
+		return inc, true
+	}
+	return static.IncrStats{}, false
 }

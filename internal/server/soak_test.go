@@ -203,3 +203,120 @@ func normalizeResponse(t *testing.T, data []byte) string {
 	}
 	return string(out)
 }
+
+// TestSoakStaticSummaryReuse drives the daemon-wide summary store: 8
+// source variants that share four identical helper functions, each
+// submitted in both static modes concurrently. The store must replay
+// helper summaries across jobs (hits > 0) while every response stays
+// byte-identical to a storeless sequential cli.Run of the same request —
+// the incremental cache may only save time, never change an answer.
+func TestSoakStaticSummaryReuse(t *testing.T) {
+	variant := func(v int) string {
+		return fmt.Sprintf(`
+pm int cell[64];
+void put0(int *p, int v) { *p = v; clwb(p); sfence(); }
+void put1(int *p, int v) { *p = v + 1; clwb(p); sfence(); }
+void put2(int *p, int v) { *p = v + 2; clwb(p); sfence(); }
+void put3(int *p, int v) { *p = v + 3; clwb(p); sfence(); }
+int main() {
+	put0(&cell[0], %d);
+	put1(&cell[1], %d);
+	put2(&cell[2], %d);
+	put3(&cell[3], %d);
+	cell[8] = %d;
+	pm_checkpoint();
+	return cell[8];
+}
+`, v, v, v, v, v)
+	}
+	const variants = 8
+	var reqs []*cli.Request
+	for v := 0; v < variants; v++ {
+		for _, mode := range []string{cli.ModeCheck, cli.ModeRepair} {
+			reqs = append(reqs, &cli.Request{
+				Program:   fmt.Sprintf("soak%d.pmc", v),
+				Source:    variant(v),
+				Mode:      mode,
+				Static:    true,
+				TimeoutMS: 60_000,
+			})
+		}
+	}
+
+	// Sequential ground truth: fresh cli.Run per request, no store at all.
+	want := make([]string, len(reqs))
+	for i, q := range reqs {
+		c := *q
+		rec := obs.New()
+		root := rec.StartSpan("job")
+		resp, err := cli.Run(&c, root)
+		root.End()
+		if err != nil {
+			t.Fatalf("sequential %s %s: %v", q.Mode, q.Program, err)
+		}
+		data, err := resp.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = string(data)
+	}
+
+	s := New(Config{Workers: 4, QueueDepth: len(reqs)})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	got := make([]string, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := *reqs[i]
+			j, err := s.Submit(&c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			select {
+			case <-j.Done():
+			case <-time.After(time.Minute):
+				errs[i] = fmt.Errorf("job %s timed out", j.ID)
+				return
+			}
+			if err := j.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = string(j.ResponseJSON())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent %s %s: %v", reqs[i].Mode, reqs[i].Program, err)
+		}
+	}
+	for i := range reqs {
+		if got[i] != want[i] {
+			t.Errorf("%s %s: daemon response diverged from storeless cli.Run\ndaemon:     %.400s\nsequential: %.400s",
+				reqs[i].Mode, reqs[i].Program, got[i], want[i])
+		}
+	}
+
+	// The helpers are byte-identical across all 16 jobs: the shared store
+	// must have replayed summaries and constraint lists, not just stored
+	// them. Exact counts depend on scheduling; reuse itself must not.
+	ss := s.summaries.Stats()
+	if ss.SummaryHits == 0 || ss.ConsHits == 0 {
+		t.Errorf("daemon summary store saw no reuse across same-helper jobs: %+v", ss)
+	}
+	if ss.Summaries == 0 || ss.Constraints == 0 {
+		t.Errorf("daemon summary store retained nothing: %+v", ss)
+	}
+}

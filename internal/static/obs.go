@@ -9,9 +9,16 @@ import (
 // publishing the analysis statistics as static.* counters. With a nil
 // span it is exactly Analyze.
 func AnalyzeObs(mod *ir.Module, entry string, sp *obs.Span) (*Result, error) {
+	return AnalyzeObsStore(mod, entry, nil, sp)
+}
+
+// AnalyzeObsStore is AnalyzeObs backed by a summary store; the run's
+// summary and constraint hit/miss counts are published as static.sum_* /
+// static.cons_* counters.
+func AnalyzeObsStore(mod *ir.Module, entry string, store *Store, sp *obs.Span) (*Result, error) {
 	asp := sp.Start("static-analyze")
 	defer asp.End()
-	res, err := Analyze(mod, entry)
+	res, err := AnalyzeWithStore(mod, entry, store)
 	if res != nil {
 		asp.SetAttr("entry", res.Entry)
 		asp.Add("static.funcs", int64(res.Funcs))
@@ -26,6 +33,12 @@ func AnalyzeObs(mod *ir.Module, entry string, sp *obs.Span) (*Result, error) {
 		asp.Add("static.lints.redundant_flush", byKind[LintRedundantFlush])
 		asp.Add("static.lints.redundant_fence", byKind[LintRedundantFence])
 		asp.Add("static.lints.flush_after_nt", byKind[LintFlushAfterNT])
+		if store != nil {
+			asp.Add("static.sum_hits", int64(res.Incr.SumHits))
+			asp.Add("static.sum_misses", int64(res.Incr.SumMisses))
+			asp.Add("static.cons_hits", int64(res.Incr.ConsHits))
+			asp.Add("static.cons_misses", int64(res.Incr.ConsMisses))
+		}
 	}
 	return res, err
 }

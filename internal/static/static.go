@@ -157,6 +157,9 @@ type Result struct {
 	// Funcs counts the defined functions reachable from (and including)
 	// the entry — the functions the analysis summarized.
 	Funcs int
+	// Incr reports this run's summary/constraint store traffic (zero
+	// when the run had no store).
+	Incr IncrStats
 }
 
 // Clean reports whether no durability bugs were found.
@@ -237,6 +240,18 @@ func (res *Result) Summary() string {
 // Analyze runs the static persistency analysis on the module, rooted at
 // the named entry function.
 func Analyze(mod *ir.Module, entry string) (*Result, error) {
+	return AnalyzeWithStore(mod, entry, nil)
+}
+
+// AnalyzeWithStore is Analyze backed by a summary store: function
+// summaries (and the alias layer's per-function constraint lists) are
+// replayed from the store when the cache key — body fingerprint, alias
+// digest, callee summary hashes — matches, and recomputed and stored
+// otherwise. The result is byte-identical to a storeless run: cold and
+// warm paths share every piece of analysis code, a hit merely skips
+// re-deriving what the key proves unchanged. A nil store analyzes from
+// scratch.
+func AnalyzeWithStore(mod *ir.Module, entry string, store *Store) (*Result, error) {
 	entryFn := mod.Func(entry)
 	if entryFn == nil {
 		return nil, fmt.Errorf("static: entry function %q not found", entry)
@@ -244,15 +259,23 @@ func Analyze(mod *ir.Module, entry string) (*Result, error) {
 	if entryFn.IsDecl() {
 		return nil, fmt.Errorf("static: entry function %q has no body", entry)
 	}
+	var an *alias.Analysis
 	az := &analyzer{
 		mod:         mod,
-		an:          alias.Analyze(mod),
 		entry:       entryFn,
+		sumHash:     make(map[*ir.Func]string),
 		sums:        make(map[*ir.Func]*summary),
 		fenceMay:    make(map[*ir.Func]bool),
 		fenceMust:   make(map[*ir.Func]bool),
 		escapeCache: make(map[*ir.Instr]bool),
 	}
+	if store != nil {
+		an = alias.AnalyzeWithStore(mod, store.Alias())
+		az.store = store
+	} else {
+		an = alias.Analyze(mod)
+	}
+	az.an = an
 	az.run()
 
 	entrySum := az.sums[entryFn]
@@ -263,7 +286,11 @@ func Analyze(mod *ir.Module, entry string) (*Result, error) {
 		entrySum.mergeReport(f, bits, nil)
 	}
 
-	res := &Result{Entry: entry, Funcs: len(az.sums)}
+	cs := an.ConsStatsOf()
+	res := &Result{Entry: entry, Funcs: len(az.sums), Incr: IncrStats{
+		SumHits: az.sumHits, SumMisses: az.sumMisses,
+		ConsHits: cs.Hits, ConsMisses: cs.Misses,
+	}}
 	for _, r := range entrySum.reports {
 		res.Reports = append(res.Reports, exportReport(mod, r))
 	}
