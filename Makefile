@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke fleet-smoke incremental-smoke bench-server bench-optimize bench-fleet bench-incremental
+.PHONY: build test vet verify agreement bench metrics-smoke crash-smoke server-smoke optimize-smoke fleet-smoke incremental-smoke mt-smoke bench-server bench-optimize bench-fleet bench-incremental bench-mt
 
 build:
 	$(GO) build ./...
@@ -81,10 +81,23 @@ fleet-smoke:
 incremental-smoke:
 	$(GO) test -race -count=1 -run 'TestEditSequenceWarmIdentical|TestIncrementalCorpusByteIdentical|TestSoakStaticSummaryReuse' ./internal/progen/ ./internal/static/ ./internal/server/
 
+# mt-smoke proves the interleaving-aware pipeline end to end: the
+# concurrent corpus programs must hide their bugs under the default
+# round-robin schedule where seeded to, expose them under exploration,
+# replay deterministically by schedule id, and come out fixed (detector
+# union clean + every explored interleaving crash-validated); the
+# schedule package's own suite pins POR/bounded-exhaustive verdict
+# equivalence and replay determinism; the threaded agreement sweep pins
+# static superset soundness over generated concurrent programs.
+mt-smoke:
+	$(GO) test ./internal/corpus/ -run TestMTSmoke -count=1 -v
+	$(GO) test ./internal/schedule/ -count=1
+	$(GO) test ./internal/static/ -run TestProgenThreadedAgreement -count=1
+
 # verify is the tier-1 gate (referenced from ROADMAP.md): vet, build, the
 # full suite under the race detector, the agreement harness, and the
-# telemetry, crash-validation, incremental-analysis, and repair-service
-# smoke tests.
+# telemetry, crash-validation, interleaving, incremental-analysis, and
+# repair-service smoke tests.
 verify: vet build
 	$(GO) test -race ./...
 	$(MAKE) agreement
@@ -92,6 +105,7 @@ verify: vet build
 	$(MAKE) crash-smoke
 	$(MAKE) optimize-smoke
 	$(MAKE) incremental-smoke
+	$(MAKE) mt-smoke
 	$(MAKE) server-smoke
 	$(MAKE) fleet-smoke
 
@@ -119,6 +133,14 @@ bench-optimize:
 # BENCH_incremental.json.
 bench-incremental:
 	BENCH_INCREMENTAL_OUT=$(CURDIR)/BENCH_incremental.json $(GO) test -run '^TestWriteIncrSweepJSON$$' -count=1 -v ./internal/bench/
+
+# bench-mt sweeps the bounded interleaving search over the concurrent
+# corpus — POR vs bounded-exhaustive explored counts (the pruning
+# factor), schedules/second, and the end-to-end interleaving-aware
+# repair time including the per-schedule crash sweep — and writes
+# BENCH_mt.json.
+bench-mt:
+	BENCH_MT_OUT=$(CURDIR)/BENCH_mt.json $(GO) test -run '^TestWriteMTSweepJSON$$' -count=1 -v ./internal/bench/
 
 # bench-fleet measures routed cold/warm corpus throughput at 1, 2, and 3
 # backends plus a kill drill (one backend killed mid-load: zero accepted

@@ -36,6 +36,13 @@
 //	-no-dedup         disable content-addressed verdict dedup for
 //	                  -crashcheck: boot recovery on every schedule even
 //	                  when its image is byte-identical to one already judged
+//	-threads          interleaving-aware repair: explore the workload's
+//	                  thread schedules (bounded, with persistence-aware
+//	                  partial-order reduction), repair the union of every
+//	                  schedule's reports, and require the repaired module
+//	                  to be clean under re-exploration; with -crashcheck
+//	                  every explored interleaving is crash-swept
+//	-max-schedules N  schedule budget for -threads (0 = default)
 //	-steplimit N      instruction budget per interpreter run (default 100M)
 //	-metrics FILE     write counters/histograms/phase timings as JSON
 //	-spans FILE       write the span tree as Chrome trace_event JSON
@@ -80,6 +87,8 @@ func main() {
 	recovery := flag.String("recovery", "", "durability-promise recovery entry for -crashcheck (default crash_check)")
 	noDedup := flag.Bool("no-dedup", false, "disable verdict dedup for -crashcheck (debug escape hatch)")
 	optimizeFlag := flag.Bool("optimize", false, "prove-and-apply redundant flush/fence elimination after repair")
+	threads := flag.Bool("threads", false, "interleaving-aware repair across explored thread schedules")
+	maxSchedules := flag.Int("max-schedules", 0, "schedule budget for -threads (0 = default)")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -119,6 +128,21 @@ func main() {
 	if *optimizeFlag && *tracePath != "" {
 		usage("-optimize re-executes the program; it cannot be combined with -trace")
 	}
+	if *threads {
+		switch {
+		case *staticMode:
+			usage("-threads needs dynamic execution; it cannot be combined with -static")
+		case *tracePath != "":
+			usage("-threads explores interleavings; it cannot be combined with -trace")
+		case *optimizeFlag:
+			usage("-optimize measures single-schedule executions; it cannot be combined with -threads")
+		}
+	} else if *maxSchedules != 0 {
+		usage("-max-schedules only applies with -threads")
+	}
+	if *maxSchedules < 0 {
+		usage("-max-schedules must be >= 0")
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hippocrates [flags] program.pmc")
 		flag.PrintDefaults()
@@ -138,6 +162,8 @@ func main() {
 		Optimize:   *optimizeFlag,
 		StepLimit:  limits.StepLimit,
 	}
+	req.Threads = *threads
+	req.MaxSchedules = *maxSchedules
 	if *showScores {
 		req.DebugScores = os.Stderr
 	}
@@ -188,10 +214,19 @@ func run(path, out, tracePath string, showFixes, showDiff bool,
 
 	fmt.Printf("hippocrates: %d bug(s) before repair (%d unique store sites)\n",
 		resp.BugsBefore, resp.SitesBefore)
+	if s := resp.Schedules; s != nil {
+		fmt.Printf("hippocrates: explored %d interleaving(s) (%d pruned by POR, %d thread(s))\n",
+			s.Stats.SchedulesExplored, s.Stats.SchedulesPruned, s.Threads)
+		if s.BuggySchedule != "" {
+			fmt.Printf("hippocrates: first buggy schedule %s (replay with pmvm -sched)\n", s.BuggySchedule)
+		}
+	}
 	var fix *core.Result
 	switch {
 	case resp.Pipeline != nil:
 		fix = resp.Pipeline.Fix
+	case resp.MT != nil:
+		fix = resp.MT.Fix
 	case resp.StaticResult != nil:
 		fix = resp.StaticResult.Fix
 	}
@@ -211,6 +246,14 @@ func run(path, out, tracePath string, showFixes, showDiff bool,
 	if showDiff && fix != nil {
 		fmt.Println("hippocrates: repair diff:")
 		fmt.Print(cli.DiffLines(before, ir.Print(mod)))
+	}
+	for _, sc := range resp.CrashBySchedule {
+		status := "PASS"
+		if !sc.Report.Passed {
+			status = fmt.Sprintf("%d point(s) failing", len(sc.Report.Failures))
+		}
+		fmt.Printf("hippocrates: crashcheck under schedule %s: %s (%d crash point(s), %d image(s))\n",
+			sc.Schedule, status, sc.Report.Points, sc.Report.Schedules)
 	}
 	if resp.Pipeline != nil {
 		for i, round := range resp.Pipeline.CrashRounds {
@@ -240,6 +283,8 @@ func run(path, out, tracePath string, showFixes, showDiff bool,
 		switch {
 		case resp.Pipeline != nil && !resp.Pipeline.After.Clean():
 			fmt.Print(resp.Pipeline.After.Summary())
+		case resp.MT != nil && !resp.MT.After.Clean():
+			fmt.Print(resp.MT.After.Summary())
 		case resp.StaticResult != nil && !resp.StaticResult.After.Clean():
 			fmt.Print(resp.StaticResult.After.Summary())
 		}

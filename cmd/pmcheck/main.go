@@ -17,6 +17,10 @@
 //	-static        static persistency-state analysis; no execution
 //	-optimize      prove-and-apply redundant flush/fence elimination on
 //	               the program as given (reported, never written)
+//	-threads       interleaving-aware check: explore the workload's thread
+//	               schedules (bounded, with persistence-aware partial-order
+//	               reduction) and report the union of every schedule's bugs
+//	-max-schedules N  schedule budget for -threads (0 = default)
 //	-steplimit N   instruction budget per interpreter run (default 100M)
 //	-metrics FILE  write counters/histograms/phase timings as JSON
 //	-spans FILE    write the span tree as Chrome trace_event JSON
@@ -55,6 +59,8 @@ func main() {
 	replay := flag.String("replay", "", "analyze an existing trace file")
 	staticMode := flag.Bool("static", false, "static persistency-state analysis instead of executing")
 	optimizeFlag := flag.Bool("optimize", false, "prove-and-apply redundant flush/fence elimination on the program as given")
+	threads := flag.Bool("threads", false, "interleaving-aware check across explored thread schedules")
+	maxSchedules := flag.Int("max-schedules", 0, "schedule budget for -threads (0 = default)")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -96,6 +102,23 @@ func main() {
 	}
 	if *staticMode && *optimizeFlag {
 		usage("pmcheck: -optimize measures executions; it cannot be combined with -static")
+	}
+	if *threads {
+		switch {
+		case *replay != "":
+			usage("pmcheck: -threads explores interleavings; it cannot be combined with -replay")
+		case *staticMode:
+			usage("pmcheck: -threads needs dynamic execution; it cannot be combined with -static")
+		case *optimizeFlag:
+			usage("pmcheck: -optimize measures single-schedule executions; it cannot be combined with -threads")
+		case *saveTrace != "":
+			usage("pmcheck: -trace captures a single run; it cannot be combined with -threads")
+		}
+	} else if *maxSchedules != 0 {
+		usage("pmcheck: -max-schedules only applies with -threads")
+	}
+	if *maxSchedules < 0 {
+		usage("pmcheck: -max-schedules must be >= 0")
 	}
 
 	rec := obsFlags.NewRecorder()
@@ -148,13 +171,15 @@ func main() {
 		fail(err)
 	}
 	req := &cli.Request{
-		Program:   filepath.Base(flag.Arg(0)),
-		Source:    string(src),
-		Mode:      cli.ModeCheck,
-		Entry:     *entry,
-		Static:    *staticMode,
-		Optimize:  *optimizeFlag,
-		StepLimit: limits.StepLimit,
+		Program:      filepath.Base(flag.Arg(0)),
+		Source:       string(src),
+		Mode:         cli.ModeCheck,
+		Entry:        *entry,
+		Static:       *staticMode,
+		Optimize:     *optimizeFlag,
+		Threads:      *threads,
+		MaxSchedules: *maxSchedules,
+		StepLimit:    limits.StepLimit,
 	}
 	// With observability on, detection alone would leave the exported
 	// spans and audit trail covering half the pipeline; run the full
@@ -175,6 +200,22 @@ func main() {
 	}
 	var clean bool
 	switch {
+	case *threads:
+		// Union verdict across the exploration: the summary mirrors the
+		// single-run one but names the interleaving that exposed the bugs.
+		s := resp.Schedules
+		fmt.Printf("pmcheck: explored %d interleaving(s) (%d pruned by POR, %d thread(s))\n",
+			s.Stats.SchedulesExplored, s.Stats.SchedulesPruned, s.Threads)
+		if len(resp.Reports) == 0 {
+			fmt.Println("pmcheck: no durability bugs found under any explored interleaving")
+		} else {
+			fmt.Printf("pmcheck: %d durability bug(s) in the union across schedules:\n", len(resp.Reports))
+			for i, r := range resp.Reports {
+				fmt.Printf("[%d] %s\n", i+1, r)
+			}
+			fmt.Printf("pmcheck: first buggy schedule %s (replay with pmvm -sched)\n", s.BuggySchedule)
+		}
+		clean = resp.Fixed
 	case resp.StaticCheck != nil:
 		fmt.Print(resp.StaticCheck.Summary())
 		clean = resp.StaticCheck.Clean()

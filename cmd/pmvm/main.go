@@ -24,6 +24,14 @@
 //	-no-dedup        disable content-addressed verdict dedup for -crash:
 //	                 boot recovery on every schedule even when its image
 //	                 is byte-identical to one already judged
+//	-threads         interleaving-aware mode: explore the workload's
+//	                 thread schedules (bounded, with persistence-aware
+//	                 partial-order reduction) and report the verdict per
+//	                 interleaving; with -crash every explored
+//	                 interleaving is crash-swept
+//	-max-schedules N schedule budget for -threads (0 = default)
+//	-sched ID        replay one interleaving on the plain run: "rr" for
+//	                 round-robin or a "c:…" id printed by -threads
 //	-metrics FILE    write counters/histograms/phase timings as JSON
 //	-spans FILE      write the span tree as Chrome trace_event JSON
 //	-audit           print the repair audit trail (always empty here: pmvm
@@ -41,8 +49,10 @@ import (
 	"strconv"
 
 	"hippocrates/internal/cli"
+	"hippocrates/internal/core"
 	"hippocrates/internal/interp"
 	"hippocrates/internal/ir"
+	"hippocrates/internal/schedule"
 	"hippocrates/internal/trace"
 )
 
@@ -56,6 +66,9 @@ func main() {
 	crashPoints := flag.Int("crash-points", 0, "crash-point budget for -crash (0 = default)")
 	crashImages := flag.Int("crash-images", 0, "per-point schedule budget for -crash (0 = default)")
 	noDedup := flag.Bool("no-dedup", false, "disable verdict dedup for -crash (debug escape hatch)")
+	threads := flag.Bool("threads", false, "explore thread interleavings instead of one round-robin run")
+	maxSchedules := flag.Int("max-schedules", 0, "schedule budget for -threads (0 = default)")
+	sched := flag.String("sched", "", "replay one interleaving on the plain run (\"rr\" or a \"c:…\" id)")
 	var limits cli.LimitFlags
 	limits.Register()
 	var obsFlags cli.ObsFlags
@@ -91,20 +104,62 @@ func main() {
 			usage("-crash-images must be >= 0")
 		}
 	}
+	if !*threads && *maxSchedules != 0 {
+		usage("-max-schedules only applies with -threads")
+	}
+	if *maxSchedules < 0 {
+		usage("-max-schedules must be >= 0")
+	}
+	var schedChoices []int
+	if *sched != "" {
+		if *threads {
+			usage("-sched replays one interleaving; -threads explores many (pick one)")
+		}
+		if *crash {
+			usage("-sched only applies to the plain run (use -crash -threads to sweep interleavings)")
+		}
+		var err error
+		schedChoices, err = interp.ParseScheduleID(*sched)
+		if err != nil {
+			usage(err.Error())
+		}
+	}
+	if *threads && *traceOut != "" {
+		usage("-trace captures a single run; replay one interleaving with -sched instead")
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: pmvm [flags] program.pmc [intarg ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *entry, *traceOut, *printIR, *crash,
-		*invariant, *recovery, *crashPoints, *crashImages, *noDedup, limits, obsFlags); err != nil {
+	cfg := runCfg{
+		entry: *entry, traceOut: *traceOut, printIR: *printIR, crash: *crash,
+		invariant: *invariant, recovery: *recovery,
+		crashPoints: *crashPoints, crashImages: *crashImages, noDedup: *noDedup,
+		threads: *threads, maxSchedules: *maxSchedules,
+		schedID: *sched, schedChoices: schedChoices,
+	}
+	if err := run(flag.Arg(0), flag.Args()[1:], cfg, limits, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "pmvm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, argStrs []string, entry, traceOut string, printIR, crash bool,
-	invariant, recovery string, crashPoints, crashImages int, noDedup bool,
+// runCfg carries the parsed, validated flag set into run.
+type runCfg struct {
+	entry, traceOut     string
+	printIR, crash      bool
+	invariant, recovery string
+	crashPoints         int
+	crashImages         int
+	noDedup             bool
+	threads             bool
+	maxSchedules        int
+	schedID             string
+	schedChoices        []int
+}
+
+func run(path string, argStrs []string, cfg runCfg,
 	limits cli.LimitFlags, obsFlags cli.ObsFlags) error {
 	rec := obsFlags.NewRecorder()
 	root := rec.StartSpan("pmvm")
@@ -123,37 +178,47 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 		return err
 	}
 	req := &cli.Request{
-		Program:     filepath.Base(path),
-		Source:      string(src),
-		Mode:        cli.ModeCrash,
-		Entry:       entry,
-		Args:        args,
-		Invariant:   invariant,
-		Recovery:    recovery,
-		CrashPoints: crashPoints,
-		CrashImages: crashImages,
-		NoDedup:     noDedup,
-		StepLimit:   limits.StepLimit,
-		CrashLog:    os.Stdout,
+		Program:      filepath.Base(path),
+		Source:       string(src),
+		Mode:         cli.ModeCrash,
+		Entry:        cfg.entry,
+		Args:         args,
+		Invariant:    cfg.invariant,
+		Recovery:     cfg.recovery,
+		CrashPoints:  cfg.crashPoints,
+		CrashImages:  cfg.crashImages,
+		NoDedup:      cfg.noDedup,
+		Threads:      cfg.threads,
+		MaxSchedules: cfg.maxSchedules,
+		StepLimit:    limits.StepLimit,
+		CrashLog:     os.Stdout,
 	}
-	if !crash {
+	if !cfg.crash {
 		// Compile-only request shape: the plain run below executes the
 		// module itself (stdout, violations, simulated time).
 		req.Mode = cli.ModeCheck
 	}
 
-	if crash {
+	if cfg.crash {
 		resp, err := cli.Run(req, root)
 		if err != nil {
 			return err
 		}
-		fmt.Print(resp.CrashReport.Summary())
+		var failed int
+		if cfg.threads {
+			// Threads mode sweeps every explored interleaving; the
+			// per-schedule reports replace the single CrashReport.
+			failed = printScheduleCrash(resp)
+		} else {
+			fmt.Print(resp.CrashReport.Summary())
+			failed = len(resp.CrashReport.Failures)
+		}
 		root.End()
 		if err := obsFlags.Finish(rec, os.Stdout); err != nil {
 			return err
 		}
 		if !resp.Fixed {
-			return fmt.Errorf("%d crash point(s) failed recovery", len(resp.CrashReport.Failures))
+			return fmt.Errorf("%d crash point(s) failed recovery", failed)
 		}
 		return nil
 	}
@@ -162,22 +227,43 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 	if err != nil {
 		return err
 	}
-	if printIR {
+	if cfg.printIR {
 		fmt.Print(ir.Print(mod))
 		return nil
 	}
 
+	if cfg.threads {
+		// Exploration run: execute the workload under every schedule the
+		// bounded search (with persistence-aware POR) reaches, and report
+		// the verdict per interleaving.
+		ex, err := core.ExploreModule(mod, cfg.entry, core.Options{
+			Obs: root, StepLimit: limits.StepLimit, MaxSchedules: cfg.maxSchedules,
+		}, args...)
+		if err != nil {
+			return err
+		}
+		printExploration(cfg.entry, ex)
+		root.End()
+		return obsFlags.Finish(rec, os.Stdout)
+	}
+
 	var tr *trace.Trace
-	if traceOut != "" || obsFlags.Enabled() {
+	if cfg.traceOut != "" || obsFlags.Enabled() {
 		tr = &trace.Trace{Program: mod.Name}
 	}
-	mach, err := interp.New(mod, interp.Options{Trace: tr, Stdout: os.Stdout, StepLimit: limits.StepLimit})
+	mach, err := interp.New(mod, interp.Options{
+		Trace: tr, Stdout: os.Stdout, StepLimit: limits.StepLimit,
+		Schedule: cfg.schedChoices,
+	})
 	if err != nil {
 		return err
 	}
 	xsp := root.Start("execute")
-	xsp.SetAttr("entry", entry)
-	ret, err := mach.Run(entry, args...)
+	xsp.SetAttr("entry", cfg.entry)
+	if cfg.schedID != "" {
+		xsp.SetAttr("schedule", cfg.schedID)
+	}
+	ret, err := mach.Run(cfg.entry, args...)
 	mach.RecordObs(xsp)
 	if tr != nil {
 		xsp.Add("trace.events", int64(len(tr.Events)))
@@ -191,19 +277,71 @@ func run(path string, argStrs []string, entry, traceOut string, printIR, crash b
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pmvm: @%s returned %d\n", entry, int64(ret))
+	fmt.Printf("pmvm: @%s returned %d\n", cfg.entry, int64(ret))
+	if cfg.schedID != "" {
+		fmt.Printf("pmvm: replayed schedule %s\n", cfg.schedID)
+	}
 	fmt.Printf("pmvm: %d instructions, %.0f simulated ns\n", mach.Steps(), mach.SimTime())
 	if n := len(mach.Violations); n > 0 {
 		fmt.Printf("pmvm: %d durability violation(s) observed (run pmcheck for details)\n", n)
 	} else {
 		fmt.Println("pmvm: all PM stores durable at every durability point")
 	}
-	if tr != nil && traceOut != "" {
-		if err := cli.WriteTrace(tr, traceOut); err != nil {
+	if tr != nil && cfg.traceOut != "" {
+		if err := cli.WriteTrace(tr, cfg.traceOut); err != nil {
 			return err
 		}
-		fmt.Printf("pmvm: wrote %d trace events to %s\n", len(tr.Events), traceOut)
+		fmt.Printf("pmvm: wrote %d trace events to %s\n", len(tr.Events), cfg.traceOut)
 	}
 	root.End()
 	return obsFlags.Finish(rec, os.Stdout)
+}
+
+// printExploration renders a plain -threads run: one verdict line per
+// explored interleaving plus the search accounting.
+func printExploration(entry string, ex *schedule.Result) {
+	maxThreads := 0
+	for _, r := range ex.Runs {
+		if r.Threads > maxThreads {
+			maxThreads = r.Threads
+		}
+	}
+	fmt.Printf("pmvm: explored %d interleaving(s) (%d pruned by POR, %d thread(s))\n",
+		ex.Explored, ex.Pruned, maxThreads)
+	for _, r := range ex.Runs {
+		verdict := "clean"
+		if r.Check != nil && !r.Check.Clean() {
+			verdict = fmt.Sprintf("%d report(s)", len(r.Check.Reports))
+		}
+		fmt.Printf("pmvm:   %-16s @%s returned %d: %s\n", r.ID, entry, int64(r.Ret), verdict)
+	}
+	if ex.Truncated {
+		fmt.Println("pmvm: schedule budget exhausted with interleavings unexplored (raise -max-schedules)")
+	}
+	if bad := ex.FirstBuggy(); bad != nil {
+		fmt.Printf("pmvm: first buggy schedule %s (replay with -sched %s)\n", bad.ID, bad.ID)
+	} else {
+		fmt.Println("pmvm: all explored interleavings clean")
+	}
+}
+
+// printScheduleCrash renders a -crash -threads response: the exploration
+// summary plus one pass/fail line per crash-swept interleaving. It
+// returns the total failed-schedule count across sweeps.
+func printScheduleCrash(resp *cli.Response) int {
+	if s := resp.Schedules; s != nil {
+		fmt.Printf("pmvm: explored %d interleaving(s) (%d pruned by POR, %d thread(s)), %d crash point(s) swept\n",
+			s.Stats.SchedulesExplored, s.Stats.SchedulesPruned, s.Threads, s.Stats.CrashPoints)
+	}
+	failed := 0
+	for _, sc := range resp.CrashBySchedule {
+		verdict := "passed"
+		if !sc.Report.Passed {
+			verdict = fmt.Sprintf("FAILED (%d schedule(s))", len(sc.Report.Failures))
+			failed += len(sc.Report.Failures)
+		}
+		fmt.Printf("pmvm:   %-16s %d crash point(s), %d image(s): %s\n",
+			sc.Schedule, sc.Report.Points, sc.Report.Schedules, verdict)
+	}
+	return failed
 }

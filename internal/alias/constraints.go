@@ -162,9 +162,17 @@ func genConstraints(f *ir.Func) []Cons {
 				if ir.IsPtr(in.Ty) {
 					out = append(out, Cons{Kind: CLoad, A: refArg(in, 0), B: refInstr(in)})
 				}
-			case ir.OpStore, ir.OpNTStore:
+			case ir.OpStore, ir.OpNTStore, ir.OpAtomicStore:
 				if ir.IsPtr(in.StoreTy) {
 					out = append(out, Cons{Kind: CStore, A: refArg(in, 1), B: refArg(in, 0)})
+				}
+			case ir.OpSpawn:
+				// A spawned thread receives the arguments like a call; it
+				// has no pointer result (the handle is an integer).
+				for i := range in.Args {
+					if ir.IsPtr(in.Callee.Params[i].Ty) {
+						out = append(out, Cons{Kind: CCopy, A: refArg(in, i), B: refCalleeParam(in.Callee.Name, i)})
+					}
 				}
 			case ir.OpIntToPtr:
 				out = append(out, Cons{Kind: CSeedExtern, A: refInstr(in)})

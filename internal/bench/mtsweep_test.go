@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMTSweepOutcome pins the interleaving-sweep results that do not
+// depend on timing: the partial-order reduction must prune real work on
+// at least one target while never changing a verdict (the equivalence
+// test in internal/schedule pins that part), every concurrent corpus
+// program must expose its bugs in the union verdict, and the
+// interleaving-aware repair must fix all of them.
+func TestMTSweepOutcome(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed exploration sweep")
+	}
+	rep, err := MeasureMTSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) < 3 {
+		t.Fatalf("swept %d concurrent targets, want >= 3", len(rep.Targets))
+	}
+	if !rep.Totals.AllFixed {
+		t.Error("some concurrent target was not fixed by the interleaving-aware repair")
+	}
+	anyPruned := false
+	for _, tgt := range rep.Targets {
+		if tgt.Threads < 2 {
+			t.Errorf("%s: reached %d thread(s), want >= 2", tgt.Name, tgt.Threads)
+		}
+		if tgt.UnionBugs == 0 {
+			t.Errorf("%s: union verdict found no bugs in a seeded-buggy program", tgt.Name)
+		}
+		if tgt.Pruned > 0 {
+			anyPruned = true
+		}
+		// POR explores a subset of the exhaustive space (equal only when
+		// nothing commutes); with both searches un-truncated the counts
+		// must agree with the pruning accounting.
+		if !tgt.Truncated && !tgt.ExhaustiveTrunc && tgt.ExhaustiveExplored < tgt.Explored {
+			t.Errorf("%s: exhaustive search explored %d < POR's %d", tgt.Name, tgt.ExhaustiveExplored, tgt.Explored)
+		}
+	}
+	if !anyPruned {
+		t.Error("partial-order reduction pruned nothing across the whole concurrent corpus")
+	}
+	for _, tgt := range rep.Targets {
+		t.Logf("%s: %d thread(s), POR %d explored / %d pruned (%.1fx vs exhaustive %d), %d union bug(s), %d crash point(s), fixed=%v",
+			tgt.Name, tgt.Threads, tgt.Explored, tgt.Pruned, tgt.PruneFactor, tgt.ExhaustiveExplored,
+			tgt.UnionBugs, tgt.CrashPoints, tgt.Fixed)
+	}
+}
+
+// TestWriteMTSweepJSON regenerates BENCH_mt.json when the BENCH_MT_OUT
+// environment variable names the output path; `make bench-mt` drives
+// it. Skipped otherwise.
+func TestWriteMTSweepJSON(t *testing.T) {
+	path := os.Getenv("BENCH_MT_OUT")
+	if path == "" {
+		t.Skip("set BENCH_MT_OUT to write the interleaving-sweep report")
+	}
+	rep, err := WriteMTSweepJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d target(s), %d explored (+%d pruned, %.1fx prune factor), all fixed=%v",
+		path, len(rep.Targets), rep.Totals.Explored, rep.Totals.Pruned,
+		rep.Totals.PruneFactor, rep.Totals.AllFixed)
+}

@@ -143,6 +143,80 @@ func TestGoldenStaticRepairResponse(t *testing.T) {
 	checkGolden(t, "repair_static_publish.golden.json", runGolden(t, req))
 }
 
+// goldenMT is the cross-thread unordered-publish showcase: the worker
+// persists nothing, main's own clwb+sfence of the shared line masks the
+// bug under the default round-robin interleaving, and only exploration
+// exposes the schedule where the worker's store is still pending when
+// main durably publishes the shard's address.
+const goldenMT = `
+struct shard {
+	int stats;
+	int val;
+	byte pad[48];
+};
+
+struct root {
+	shard s;
+	byte *head;
+};
+
+void worker() {
+	root *r = (root*) pm_root(sizeof(root));
+	r->s.val = 42; // BUG: published by main with no flush or fence here
+}
+
+int main() {
+	root *r = (root*) pm_root(sizeof(root));
+	int t = spawn(worker);
+	r->s.stats = r->s.stats + 1;
+	clwb((byte*) &r->s.stats);
+	sfence();
+	join(t);
+	r->head = (byte*) &r->s;
+	clwb((byte*) &r->head);
+	sfence();
+	pm_checkpoint();
+	return r->s.val;
+}
+
+int invariant_check() {
+	root *r = (root*) pm_root(sizeof(root));
+	if ((int) r->head != 0) {
+		shard *s = (shard*) r->head;
+		if (s->val != 42) { return 1; }
+	}
+	return 0;
+}
+
+int crash_check(int completed) {
+	root *r = (root*) pm_root(sizeof(root));
+	if (completed >= 1) {
+		if ((int) r->head == 0) { return 2; }
+	}
+	return invariant_check();
+}
+`
+
+// TestGoldenRepairThreadsResponse pins the interleaving-aware repair
+// response: the schedules document (explored/pruned accounting, the
+// buggy schedule's replayable id) and the per-interleaving crash
+// sweeps. CrashWorkers=1 keeps every stats field reproducible.
+func TestGoldenRepairThreadsResponse(t *testing.T) {
+	req := &cli.Request{
+		Program:      "mtpublish.pmc",
+		Source:       goldenMT,
+		Mode:         cli.ModeRepair,
+		Threads:      true,
+		MaxSchedules: 16,
+		CrashCheck:   true,
+		CrashPoints:  16,
+		CrashImages:  4,
+		StepLimit:    10_000_000,
+		CrashWorkers: 1,
+	}
+	checkGolden(t, "repair_threads_mtpublish.golden.json", runGolden(t, req))
+}
+
 // TestGoldenCrashVerdictResponse pins crash mode on the unrepaired
 // program: the failure documents (event, kind, cuts, entry, ret) are the
 // crash-verdict wire format.

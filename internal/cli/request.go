@@ -80,6 +80,17 @@ type Request struct {
 	CrashImages int `json:"crash_images,omitempty"`
 	// NoDedup disables content-addressed verdict dedup (debug hatch).
 	NoDedup bool `json:"no_dedup,omitempty"`
+	// Threads switches repair/check/crash to the interleaving-aware
+	// pipeline: the workload's thread schedules are explored (bounded,
+	// with persistence-aware partial-order reduction), the detector runs
+	// under every explored schedule, and — in repair and crash modes
+	// with crash validation — every explored interleaving is
+	// crash-swept. Requires dynamic execution (no static, no trace
+	// replay, no optimize).
+	Threads bool `json:"threads,omitempty"`
+	// MaxSchedules bounds the interleaving search (0 = the
+	// schedule-package default). Only meaningful with Threads.
+	MaxSchedules int `json:"max_schedules,omitempty"`
 	// StepLimit bounds every interpreter run (0 = default 100M).
 	StepLimit int64 `json:"steplimit,omitempty"`
 	// TimeoutMS is the wall-clock budget for the whole job in
@@ -190,6 +201,22 @@ func (q *Request) Validate() error {
 	if q.CrashCheck && q.ReplayTrace != nil {
 		return fmt.Errorf("crashcheck re-executes the program; it cannot consume a trace")
 	}
+	if q.Threads {
+		if q.Static {
+			return fmt.Errorf("threads needs dynamic execution; it cannot be combined with static detection")
+		}
+		if q.Optimize {
+			return fmt.Errorf("optimize is single-schedule; it cannot be combined with threads")
+		}
+		if q.ReplayTrace != nil {
+			return fmt.Errorf("threads explores interleavings; it cannot consume a trace")
+		}
+	} else if q.MaxSchedules != 0 {
+		return fmt.Errorf("max_schedules only applies with threads")
+	}
+	if q.MaxSchedules < 0 {
+		return fmt.Errorf("max_schedules must be >= 0, got %d", q.MaxSchedules)
+	}
 	if q.CrashPoints < 0 {
 		return fmt.Errorf("crash_points must be >= 0, got %d", q.CrashPoints)
 	}
@@ -251,6 +278,7 @@ func (q *Request) coreOptions() core.Options {
 		StepLimit:       q.StepLimit,
 		DebugScores:     q.DebugScores,
 		SummaryStore:    q.SummaryStore,
+		MaxSchedules:    q.MaxSchedules,
 	}
 	switch q.Flush {
 	case "clflushopt":

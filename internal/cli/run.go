@@ -12,6 +12,7 @@ import (
 	"hippocrates/internal/obs"
 	"hippocrates/internal/optimize"
 	"hippocrates/internal/pmcheck"
+	"hippocrates/internal/schedule"
 	"hippocrates/internal/static"
 	"hippocrates/internal/trace"
 )
@@ -111,6 +112,12 @@ type Response struct {
 	Crash       *crashsim.ReportDoc   `json:"crash,omitempty"`
 	CrashRounds []*crashsim.ReportDoc `json:"crash_rounds,omitempty"`
 
+	// Schedules summarizes the interleaving exploration of a Threads
+	// run; CrashBySchedule carries the per-interleaving crash sweeps
+	// (repair mode post-repair, crash mode on the program as given).
+	Schedules       *ScheduleDoc       `json:"schedules,omitempty"`
+	CrashBySchedule []ScheduleCrashDoc `json:"crash_by_schedule,omitempty"`
+
 	// Live artifacts for in-process callers; never serialized.
 
 	// Module is the (possibly repaired) module.
@@ -125,6 +132,10 @@ type Response struct {
 	StaticCheck *static.Result  `json:"-"`
 	// CrashReport is crash mode's raw report.
 	CrashReport *crashsim.Report `json:"-"`
+	// MT is the raw interleaving-aware repair outcome (Threads repair
+	// mode); Exploration the raw search of check/crash Threads modes.
+	MT          *core.MTResult   `json:"-"`
+	Exploration *schedule.Result `json:"-"`
 }
 
 // EncodeJSON renders the response's wire form: indented, deterministic,
@@ -195,19 +206,29 @@ func RunModule(q *Request, mod *ir.Module, root *obs.Span) (*Response, error) {
 	var err error
 	switch q.Mode {
 	case ModeRepair:
-		if q.Static {
+		switch {
+		case q.Static:
 			err = runStaticRepair(q, mod, opts, resp)
-		} else {
+		case q.Threads:
+			err = runRepairMT(q, mod, opts, resp)
+		default:
 			err = runRepair(q, mod, opts, resp)
 		}
 	case ModeCheck:
-		if q.Static {
+		switch {
+		case q.Static:
 			err = runStaticCheck(q, mod, root, resp)
-		} else {
+		case q.Threads:
+			err = runCheckMT(q, mod, opts, resp)
+		default:
 			err = runCheck(q, mod, root, opts, resp)
 		}
 	case ModeCrash:
-		err = runCrash(q, mod, opts, resp)
+		if q.Threads {
+			err = runCrashMT(q, mod, opts, resp)
+		} else {
+			err = runCrash(q, mod, opts, resp)
+		}
 	}
 	if err != nil {
 		return nil, err

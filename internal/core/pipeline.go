@@ -238,7 +238,7 @@ func recoveryReachable(mod *ir.Module, copts *crashsim.Options) map[string]bool 
 		reach[name] = true
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
-				if in.Op == ir.OpCall && in.Callee != nil {
+				if (in.Op == ir.OpCall || in.Op == ir.OpSpawn) && in.Callee != nil {
 					walk(in.Callee.Name)
 				}
 			}

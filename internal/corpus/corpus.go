@@ -26,7 +26,7 @@ import (
 	"hippocrates/internal/pmem"
 )
 
-//go:embed pmdk/*.pmc pclht/*.pmc memcached/*.pmc redis/*.pmc nvtree/*.pmc pmlog/*.pmc overpersist/*.pmc
+//go:embed pmdk/*.pmc pclht/*.pmc memcached/*.pmc redis/*.pmc nvtree/*.pmc pmlog/*.pmc overpersist/*.pmc mt/*.pmc
 var files embed.FS
 
 // FixSpecies is the expected shape of a Hippocrates fix for a known bug

@@ -111,6 +111,12 @@ type Options struct {
 	Workers int
 	// Seed drives the deterministic schedule sampling (0 means 1).
 	Seed int64
+	// Schedule, when non-empty, is the thread-interleaving choice prefix
+	// (see interp.Options.Schedule) the workload runs under: crashes are
+	// injected within that interleaving's PM event stream. The probe and
+	// capture runs both replay it; recovery entries boot single-threaded
+	// as usual. internal/core sweeps one Validate per explored schedule.
+	Schedule []int
 	// StepLimit / Deadline bound every interpreter run the engine makes
 	// (the probe, the capture run, each recovery run).
 	StepLimit int64
@@ -312,7 +318,7 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 
 	// Probe run: learn the PM event stream (and renumber the module once,
 	// so the parallel workers below share it read-only).
-	probe, err := interp.New(mod, interp.Options{StepLimit: opts.StepLimit, Deadline: opts.Deadline})
+	probe, err := interp.New(mod, interp.Options{StepLimit: opts.StepLimit, Deadline: opts.Deadline, Schedule: opts.Schedule})
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +367,7 @@ func Validate(mod *ir.Module, opts Options) (rep *Report, err error) {
 	}
 	var cm *interp.Machine
 	cm, err = interp.New(mod, interp.Options{
-		StepLimit: opts.StepLimit, Deadline: opts.Deadline,
+		StepLimit: opts.StepLimit, Deadline: opts.Deadline, Schedule: opts.Schedule,
 		OnPMEvent: func(k int, _ interp.PMEventKind) error {
 			if i, ok := want[k]; ok {
 				captures[i] = cm.CaptureCrashState()

@@ -131,6 +131,12 @@ func biMalloc(m *Machine, args []uint64) (uint64, error) {
 // it into aligned chunks that never span cache lines. Each chunk is a PM
 // event boundary, so crash injection can land inside a builtin copy.
 func (m *Machine) pmStoreChunks(addr uint64, buf []byte, callIn *ir.Instr) error {
+	// The whole bulk write is one visible operation to the scheduler:
+	// announce once, then the chunks run without interleaving (a builtin
+	// memcpy is atomic at scheduling granularity).
+	if err := m.yieldPM(PendStore, addr); err != nil {
+		return err
+	}
 	off := uint64(0)
 	n := uint64(len(buf))
 	for off < n {
@@ -141,7 +147,7 @@ func (m *Machine) pmStoreChunks(addr uint64, buf []byte, callIn *ir.Instr) error
 		a := addr + off
 		data := buf[off : off+chunk]
 		seq := m.emit(callIn, trace.Event{Kind: trace.KindStore, Addr: a, Size: int(chunk)})
-		m.Track.OnStore(seq, a, data)
+		m.Track.OnStoreT(seq, m.curTid(), a, data)
 		m.Clock.Advance(m.cost.StorePM)
 		if err := m.pmEvent(EvStore); err != nil {
 			return err
@@ -214,6 +220,12 @@ func biFlushRange(m *Machine, args []uint64) (uint64, error) {
 		return 0, nil
 	}
 	callIn := m.callInstr()
+	if pmem.IsPM(addr) {
+		// One announcement covers the whole range flush.
+		if err := m.yieldPM(PendFlush, addr); err != nil {
+			return 0, err
+		}
+	}
 	end := addr + n
 	for line := pmem.LineOf(addr); line < end; line += pmem.LineSize {
 		m.Clock.Advance(m.cost.Flush)
@@ -221,7 +233,7 @@ func biFlushRange(m *Machine, args []uint64) (uint64, error) {
 			continue
 		}
 		seq := m.emit(callIn, trace.Event{Kind: trace.KindFlush, FlushK: ir.CLWB, Addr: line})
-		m.Track.OnFlush(seq, false, line) // weakly ordered: pays at the fence
+		m.Track.OnFlushT(seq, m.curTid(), false, line) // weakly ordered: pays at the fence
 		if err := m.pmEvent(EvFlush); err != nil {
 			return 0, err
 		}

@@ -62,6 +62,13 @@ type Options struct {
 	// the machine; it lets one workload execution stand in for a
 	// re-execution per crash point.
 	OnPMEvent func(k int, kind PMEventKind) error
+	// Schedule replays a scheduling-decision prefix for multi-threaded
+	// programs: entry i is the choice taken at the i-th decision point
+	// (an index into that point's runnable-thread list). Beyond the
+	// prefix the scheduler continues round-robin. Nil/empty is pure
+	// round-robin. Single-threaded programs never consult it. See
+	// ScheduleID/ParseScheduleID for the textual form.
+	Schedule []int
 	// NoTrack disables durability tracking: the machine runs with a nil
 	// Track, records no violations, and cannot capture crash images
 	// (CrashImage, CrashImageCuts, CaptureCrashState panic). Memory
@@ -116,6 +123,9 @@ const (
 	EvCheckpoint
 )
 
+// numPMEventKinds sizes dense per-kind counter arrays.
+const numPMEventKinds = int(EvCheckpoint) + 1
+
 func (k PMEventKind) String() string {
 	switch k {
 	case EvStore:
@@ -156,8 +166,18 @@ type Machine struct {
 	rootAddr   uint64
 	rootSize   uint64
 
-	frames      []*frame
-	framePool   []*frame
+	frames    []*frame
+	framePool []*frame
+	// mt is the scheduler state, allocated lazily on first spawn;
+	// single-threaded runs keep it nil and skip every scheduling branch.
+	mt *mtState
+	// stackBase/stackLimit bound the running thread's simulated stack
+	// segment (the whole stack until a spawn partitions it).
+	stackBase  uint64
+	stackLimit uint64
+	// threadEv counts PM event boundaries per thread and kind, feeding
+	// the per-thread observability counters.
+	threadEv    [][numPMEventKinds]int64
 	seq         int
 	steps       int64
 	max         int64
@@ -247,6 +267,8 @@ func New(mod *ir.Module, opts Options) (*Machine, error) {
 		heapNext:   pmem.HeapBase,
 		max:        opts.StepLimit,
 		deadline:   opts.Deadline,
+		stackBase:  pmem.StackBase,
+		stackLimit: pmem.StackBase - pmem.StackMax,
 	}
 	if !opts.NoTrack {
 		m.Track = pmem.NewTracker()
@@ -367,7 +389,20 @@ func (m *Machine) Run(entry string, args ...uint64) (uint64, error) {
 	if len(args) != len(fn.Params) {
 		return 0, fmt.Errorf("interp: entry @%s takes %d arguments, got %d", entry, len(fn.Params), len(args))
 	}
-	ret, err := m.call(fn, args)
+	ret, err := m.runMain(fn, args)
+	if err == nil && m.mt != nil {
+		// pthread semantics without detach: every spawned thread must be
+		// joined (or at least have finished) before main returns.
+		for _, t := range m.mt.threads[1:] {
+			if t.state != thDone {
+				err = &RuntimeError{Msg: fmt.Sprintf("main returned with thread %d still running", t.tid)}
+				break
+			}
+		}
+	}
+	// Tear down any threads still parked (error paths and unjoined
+	// threads); a clean run has none and this is a no-op.
+	m.killThreads()
 	if err != nil {
 		return 0, err
 	}
@@ -376,6 +411,20 @@ func (m *Machine) Run(entry string, args ...uint64) (uint64, error) {
 		return 0, err
 	}
 	return ret, nil
+}
+
+// runMain executes the entry function on the calling goroutine (thread
+// 0) and converts a scheduler teardown unwind into the run's verdict.
+func (m *Machine) runMain(fn *ir.Func, args []uint64) (ret uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				panic(r)
+			}
+			ret, err = 0, m.mt.err
+		}
+	}()
+	return m.call(fn, args)
 }
 
 // CrashImage builds a possible post-crash PM image: the durable bytes,
@@ -476,6 +525,7 @@ func (m *Machine) emit(in *ir.Instr, e trace.Event) int {
 	ev := m.events.next()
 	*ev = e
 	ev.Seq = seq
+	ev.Tid = m.curTid()
 	ev.Stack = m.stackFrames(in)
 	tr.Events = append(tr.Events, ev)
 	return seq
@@ -524,6 +574,9 @@ func (m *Machine) fillStack(out []trace.Frame, in *ir.Instr) {
 }
 
 func (m *Machine) checkpoint(in *ir.Instr) error {
+	if err := m.yieldPM(PendCheckpoint, 0); err != nil {
+		return err
+	}
 	seq := m.emit(in, trace.Event{Kind: trace.KindCheckpoint})
 	if m.Track != nil {
 		m.Violations = append(m.Violations, m.Track.OnCheckpoint(seq)...)
@@ -545,6 +598,14 @@ func (m *Machine) Checkpoints() int { return m.checkpoints }
 // post-event durability state.
 func (m *Machine) pmEvent(k PMEventKind) error {
 	m.pmEventLog = append(m.pmEventLog, k)
+	if tid := m.curTid(); tid < len(m.threadEv) {
+		m.threadEv[tid][k]++
+	} else {
+		for len(m.threadEv) <= tid {
+			m.threadEv = append(m.threadEv, [numPMEventKinds]int64{})
+		}
+		m.threadEv[tid][k]++
+	}
 	if m.opts.OnPMEvent != nil {
 		if err := m.opts.OnPMEvent(len(m.pmEventLog), k); err != nil {
 			return err
@@ -571,7 +632,7 @@ func (m *Machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 	}
 	f := m.getFrame(fn)
 	if len(m.frames) == 0 {
-		f.stackTop = pmem.StackBase
+		f.stackTop = m.stackBase
 	} else {
 		f.stackTop = m.frames[len(m.frames)-1].stackLow()
 	}
@@ -682,8 +743,15 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		if err := m.checkAccess(addr, size, "store"); err != nil {
 			return err
 		}
-		m.Mem.WriteUint(addr, int(size), val)
 		if pmem.IsPM(addr) {
+			pend := PendStore
+			if in.Op == ir.OpNTStore {
+				pend = PendNTStore
+			}
+			if err := m.yieldPM(pend, addr); err != nil {
+				return err
+			}
+			m.Mem.WriteUint(addr, int(size), val)
 			// IR scalars are at most 8 bytes, so the payload fits a stack
 			// buffer; the tracker makes its own durable copy.
 			var buf [8]byte
@@ -693,16 +761,22 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 			if in.Op == ir.OpNTStore {
 				kind = trace.KindNTStore
 			}
-			seq := m.emit(in, trace.Event{Kind: kind, Addr: addr, Size: int(size)})
+			e := trace.Event{Kind: kind, Addr: addr, Size: int(size)}
+			if size == 8 && pmem.IsPM(val) {
+				// The stored value names a PM location: record it so the
+				// offline detector can replay pointer publications.
+				e.Val = val
+			}
+			seq := m.emit(in, e)
 			ev := EvStore
 			if in.Op == ir.OpNTStore {
 				ev = EvNTStore
 			}
 			if m.Track != nil {
 				if in.Op == ir.OpNTStore {
-					m.Track.OnNTStore(seq, addr, data)
+					m.Track.OnNTStoreT(seq, m.curTid(), addr, data)
 				} else {
-					m.Track.OnStore(seq, addr, data)
+					m.Track.OnStoreT(seq, m.curTid(), addr, data)
 				}
 			}
 			m.Clock.Advance(m.cost.StorePM)
@@ -710,6 +784,7 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 				return err
 			}
 		} else {
+			m.Mem.WriteUint(addr, int(size), val)
 			m.Clock.Advance(m.cost.StoreDRAM)
 		}
 
@@ -746,10 +821,13 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		addr := m.eval(f, in.Args[0])
 		m.Clock.Advance(m.cost.Flush)
 		if pmem.IsPM(addr) {
+			if err := m.yieldFlush(addr, in.FlushK.Ordered()); err != nil {
+				return err
+			}
 			seq := m.emit(in, trace.Event{Kind: trace.KindFlush, FlushK: in.FlushK, Addr: addr})
 			moved := 0
 			if m.Track != nil {
-				moved = m.Track.OnFlush(seq, in.FlushK.Ordered(), addr)
+				moved = m.Track.OnFlushT(seq, m.curTid(), in.FlushK.Ordered(), addr)
 			}
 			if moved > 0 && in.FlushK.Ordered() {
 				// CLFLUSH commits immediately; CLWB/CLFLUSHOPT park the
@@ -765,15 +843,131 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		// exists to avoid (§3.2).
 
 	case ir.OpFence:
+		if err := m.yieldPM(PendFence, 0); err != nil {
+			return err
+		}
 		seq := m.emit(in, trace.Event{Kind: trace.KindFence, FenceK: in.FenceK})
 		drained := 0
 		if m.Track != nil {
-			drained = m.Track.OnFence(seq)
+			drained = m.Track.OnFenceT(seq, m.curTid())
 		}
 		m.Clock.Advance(m.cost.FenceBase + float64(drained)*m.cost.FenceDrainPerLine)
 		if err := m.pmEvent(EvFence); err != nil {
 			return err
 		}
+
+	case ir.OpSpawn:
+		args := make([]uint64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = m.eval(f, a)
+		}
+		m.ensureMT()
+		if err := m.yieldPM(PendSpawn, 0); err != nil {
+			return err
+		}
+		tid, err := m.spawnThread(in.Callee, args)
+		if err != nil {
+			return err
+		}
+		f.regs[in.Slot] = uint64(tid)
+		m.Clock.Advance(m.cost.Call)
+
+	case ir.OpJoin:
+		h := m.eval(f, in.Args[0])
+		if m.mt == nil {
+			return m.fault("join before any spawn")
+		}
+		tid := int(h)
+		if tid <= 0 || tid >= len(m.mt.threads) {
+			return m.fault("join on invalid thread handle %d", int64(h))
+		}
+		t := m.mt.threads[tid]
+		if t.joined {
+			return m.fault("thread %d joined twice", tid)
+		}
+		if err := m.yieldJoin(tid); err != nil {
+			return err
+		}
+		if t.joined {
+			// Another thread won the race to join between our
+			// announcement and our turn.
+			return m.fault("thread %d joined twice", tid)
+		}
+		t.joined = true
+		f.regs[in.Slot] = t.result
+		m.Clock.Advance(m.cost.Call)
+
+	case ir.OpAtomicLoad:
+		addr := m.eval(f, in.Args[0])
+		if err := m.checkAccess(addr, 8, "atomic load"); err != nil {
+			return err
+		}
+		if err := m.yieldPM(PendAtomic, addr); err != nil {
+			return err
+		}
+		f.regs[in.Slot] = m.Mem.ReadUint(addr, 8)
+		if pmem.IsPM(addr) {
+			m.Clock.Advance(m.cost.LoadPM)
+		} else {
+			m.Clock.Advance(m.cost.LoadDRAM)
+		}
+
+	case ir.OpAtomicStore:
+		val := m.eval(f, in.Args[0])
+		addr := m.eval(f, in.Args[1])
+		if err := m.checkAccess(addr, 8, "atomic store"); err != nil {
+			return err
+		}
+		if err := m.yieldPM(PendAtomic, addr); err != nil {
+			return err
+		}
+		if err := m.atomicWrite(in, addr, val); err != nil {
+			return err
+		}
+
+	case ir.OpAtomicRMW:
+		operand := m.eval(f, in.Args[0])
+		addr := m.eval(f, in.Args[1])
+		if err := m.checkAccess(addr, 8, "atomic rmw"); err != nil {
+			return err
+		}
+		if err := m.yieldPM(PendAtomic, addr); err != nil {
+			return err
+		}
+		old := m.Mem.ReadUint(addr, 8)
+		var nv uint64
+		switch in.RMWK {
+		case ir.RMWAdd:
+			nv = old + operand
+		case ir.RMWXchg:
+			nv = operand
+		default:
+			return m.fault("bad rmw kind %d", int(in.RMWK))
+		}
+		if err := m.atomicWrite(in, addr, nv); err != nil {
+			return err
+		}
+		f.regs[in.Slot] = old
+
+	case ir.OpAtomicCAS:
+		expect := m.eval(f, in.Args[0])
+		nv := m.eval(f, in.Args[1])
+		addr := m.eval(f, in.Args[2])
+		if err := m.checkAccess(addr, 8, "atomic cas"); err != nil {
+			return err
+		}
+		if err := m.yieldPM(PendAtomic, addr); err != nil {
+			return err
+		}
+		old := m.Mem.ReadUint(addr, 8)
+		if old == expect {
+			if err := m.atomicWrite(in, addr, nv); err != nil {
+				return err
+			}
+		} else {
+			m.Clock.Advance(m.cost.LoadDRAM)
+		}
+		f.regs[in.Slot] = old
 
 	default:
 		switch {
@@ -800,6 +994,31 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 		}
 	}
 	return nil
+}
+
+// atomicWrite commits the write half of an atomic store/RMW/CAS.
+// Atomicity orders visibility between threads; it persists nothing, so
+// an atomic store to PM is a tracked pending store exactly like a
+// regular one and still needs its flush and fence.
+func (m *Machine) atomicWrite(in *ir.Instr, addr, val uint64) error {
+	m.Mem.WriteUint(addr, 8, val)
+	if !pmem.IsPM(addr) {
+		m.Clock.Advance(m.cost.StoreDRAM)
+		return nil
+	}
+	var buf [8]byte
+	data := buf[:]
+	m.Mem.Read(addr, data)
+	e := trace.Event{Kind: trace.KindStore, Addr: addr, Size: 8}
+	if pmem.IsPM(val) {
+		e.Val = val
+	}
+	seq := m.emit(in, e)
+	if m.Track != nil {
+		m.Track.OnStoreT(seq, m.curTid(), addr, data)
+	}
+	m.Clock.Advance(m.cost.StorePM)
+	return m.pmEvent(EvStore)
 }
 
 func (m *Machine) checkAccess(addr uint64, size int64, op string) error {
@@ -873,7 +1092,7 @@ func (m *Machine) allocStack(size uint64) uint64 {
 	f := m.frames[len(m.frames)-1]
 	top := f.stackTop - f.stackUsed
 	addr := (top - size) &^ 15
-	if addr < pmem.StackBase-pmem.StackMax || addr > top {
+	if addr < m.stackLimit || addr > top {
 		return 0 // exhausted (or wrapped below zero)
 	}
 	f.stackUsed = f.stackTop - addr

@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"fmt"
+
 	"hippocrates/internal/ir"
 	"hippocrates/internal/obs"
 )
@@ -17,6 +19,13 @@ func (m *Machine) OpcodeCounts() map[string]int64 {
 	return out
 }
 
+// ThreadEventCounts returns per-thread PM event counters: entry [tid][k]
+// is how many boundaries of PMEventKind k thread tid produced. Threads
+// that produced no PM events may be absent from the tail.
+func (m *Machine) ThreadEventCounts() [][numPMEventKinds]int64 {
+	return m.threadEv
+}
+
 // RecordObs flushes the machine's run statistics into the span's
 // recorder: total steps, checkpoints, and the per-opcode execution
 // counters (namespaced under obs.OpcodeCounterPrefix, which feeds the
@@ -29,6 +38,17 @@ func (m *Machine) RecordObs(sp *obs.Span) {
 	}
 	sp.Add("interp.steps", m.steps)
 	sp.Add("interp.checkpoints", int64(m.checkpoints))
+	if m.mt != nil {
+		sp.Add("interp.threads", int64(len(m.mt.threads)))
+		sp.Add("interp.sched_decisions", int64(len(m.mt.decisions)))
+		for tid, kinds := range m.threadEv {
+			for k, n := range kinds {
+				if n > 0 {
+					sp.Add(fmt.Sprintf("interp.thread.%d.%s", tid, PMEventKind(k)), n)
+				}
+			}
+		}
+	}
 	for op, n := range m.ops {
 		if n > 0 {
 			sp.Add(obs.OpcodeCounterPrefix+ir.Op(op).String(), n)

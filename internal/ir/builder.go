@@ -153,3 +153,36 @@ func (b *Builder) Flush(kind FlushKind, ptr Value) *Instr {
 func (b *Builder) Fence(kind FenceKind) *Instr {
 	return b.emit(&Instr{Op: OpFence, Ty: Void, FenceK: kind})
 }
+
+// Spawn emits a thread spawn of callee; the result is the thread handle.
+func (b *Builder) Spawn(callee *Func, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpSpawn, Ty: I64, Callee: callee, Args: args})
+}
+
+// Join emits a join on a thread handle; the result is the thread's
+// return value (0 for void thread functions).
+func (b *Builder) Join(handle Value) *Instr {
+	return b.emit(&Instr{Op: OpJoin, Ty: I64, Args: []Value{handle}})
+}
+
+// AtomicLoad emits an atomic i64 load from ptr.
+func (b *Builder) AtomicLoad(order MemOrder, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpAtomicLoad, Ty: I64, Order: order, Args: []Value{ptr}})
+}
+
+// AtomicStore emits an atomic i64 store of val to ptr.
+func (b *Builder) AtomicStore(order MemOrder, val, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpAtomicStore, Ty: Void, StoreTy: I64, Order: order, Args: []Value{val, ptr}})
+}
+
+// AtomicRMW emits an atomic read-modify-write on ptr; the result is the
+// previous value.
+func (b *Builder) AtomicRMW(kind RMWKind, val, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpAtomicRMW, Ty: I64, Order: OrderSeqCst, RMWK: kind, Args: []Value{val, ptr}})
+}
+
+// AtomicCAS emits an atomic compare-and-swap on ptr; the result is the
+// previous value (the swap happened iff it equals expect).
+func (b *Builder) AtomicCAS(expect, nv, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpAtomicCAS, Ty: I64, Order: OrderSeqCst, Args: []Value{expect, nv, ptr}})
+}

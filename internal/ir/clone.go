@@ -42,6 +42,8 @@ func CloneFunc(fn *Func, newName string) *Func {
 				Callee:  in.Callee,
 				FlushK:  in.FlushK,
 				FenceK:  in.FenceK,
+				Order:   in.Order,
+				RMWK:    in.RMWK,
 				Loc:     in.Loc,
 				ID:      in.ID,
 			}

@@ -72,6 +72,8 @@ func FuncFingerprint(f *Func) string {
 			h.i64(in.Disp)
 			h.u64(uint64(in.FlushK))
 			h.u64(uint64(in.FenceK))
+			h.u64(uint64(in.Order))
+			h.u64(uint64(in.RMWK))
 			if in.Callee != nil {
 				h.str("@" + in.Callee.Name)
 				if !seenF[in.Callee] {

@@ -52,6 +52,18 @@ const (
 	OpFlush // flush clwb|clflushopt|clflush, ptr %p
 	OpFence // fence sfence|mfence
 
+	// Concurrency. Threads are spawned per call (the result is a thread
+	// handle), joined exactly once, and communicate through atomics on
+	// i64-sized cells. Atomic stores to PM are tracked like regular PM
+	// stores — atomicity orders visibility between threads, it does not
+	// persist anything (that still takes flush + fence).
+	OpSpawn       // %t = spawn @f(args...)
+	OpJoin        // %r = join i64 %t
+	OpAtomicLoad  // %v = atomicload acquire|seqcst i64, ptr %p
+	OpAtomicStore // atomicstore release|seqcst i64 %v, ptr %p
+	OpAtomicRMW   // %old = atomicrmw add|xchg seqcst i64 %v, ptr %p
+	OpAtomicCAS   // %old = atomiccas seqcst i64 %expect, i64 %new, ptr %p
+
 	numOps
 )
 
@@ -92,6 +104,13 @@ var opNames = [...]string{
 	OpRet:      "ret",
 	OpFlush:    "flush",
 	OpFence:    "fence",
+
+	OpSpawn:       "spawn",
+	OpJoin:        "join",
+	OpAtomicLoad:  "atomicload",
+	OpAtomicStore: "atomicstore",
+	OpAtomicRMW:   "atomicrmw",
+	OpAtomicCAS:   "atomiccas",
 }
 
 func (op Op) String() string {
@@ -112,6 +131,9 @@ func (op Op) IsCast() bool { return op >= OpZExt && op <= OpIntToPtr }
 
 // IsTerminator reports whether op ends a basic block.
 func (op Op) IsTerminator() bool { return op == OpBr || op == OpJmp || op == OpRet }
+
+// IsAtomic reports whether op is an atomic memory operation.
+func (op Op) IsAtomic() bool { return op >= OpAtomicLoad && op <= OpAtomicCAS }
 
 // FlushKind selects the cache-flush instruction flavour. CLFLUSH is
 // strongly ordered with respect to other memory operations; CLFLUSHOPT and
@@ -162,6 +184,50 @@ func (k FenceKind) String() string {
 	return fmt.Sprintf("fencekind(%d)", int(k))
 }
 
+// MemOrder is the memory ordering of an atomic operation. The simulator
+// runs threads one at a time (sequential consistency by construction),
+// so the orders do not change execution today; they are carried so the
+// IR states intent and so a weaker scheduler can honor them later.
+type MemOrder int
+
+// The memory orders.
+const (
+	OrderSeqCst MemOrder = iota
+	OrderAcquire
+	OrderRelease
+)
+
+func (o MemOrder) String() string {
+	switch o {
+	case OrderSeqCst:
+		return "seqcst"
+	case OrderAcquire:
+		return "acquire"
+	case OrderRelease:
+		return "release"
+	}
+	return fmt.Sprintf("memorder(%d)", int(o))
+}
+
+// RMWKind selects the read-modify-write operation of an OpAtomicRMW.
+type RMWKind int
+
+// The RMW flavours.
+const (
+	RMWAdd RMWKind = iota
+	RMWXchg
+)
+
+func (k RMWKind) String() string {
+	switch k {
+	case RMWAdd:
+		return "add"
+	case RMWXchg:
+		return "xchg"
+	}
+	return fmt.Sprintf("rmwkind(%d)", int(k))
+}
+
 // Loc is a source location in the front-end language, carried through
 // lowering so that traces and fixes can be reported in source terms.
 type Loc struct {
@@ -193,10 +259,12 @@ type Instr struct {
 	AllocTy     Type      // OpAlloca: layout of the allocated object
 	StoreTy     Type      // OpStore/OpNTStore: type of the stored value
 	Scale, Disp int64     // OpPtrAdd: %q = base + index*Scale + Disp
-	Callee      *Func     // OpCall
+	Callee      *Func     // OpCall / OpSpawn
 	Succs       []*Block  // OpBr (then, else) / OpJmp (dest)
 	FlushK      FlushKind // OpFlush
 	FenceK      FenceKind // OpFence
+	Order       MemOrder  // atomic ops: memory ordering
+	RMWK        RMWKind   // OpAtomicRMW
 
 	// Loc is the source location the instruction was lowered from.
 	Loc Loc
@@ -226,17 +294,19 @@ func (in *Instr) HasResult() bool {
 	return in.Ty != nil && in.Ty != Void
 }
 
-// StorePtr returns the address operand of a store-like instruction.
+// StorePtr returns the address operand of a store-like instruction
+// (store, ntstore, atomicstore).
 func (in *Instr) StorePtr() Value {
-	if in.Op != OpStore && in.Op != OpNTStore {
+	if in.Op != OpStore && in.Op != OpNTStore && in.Op != OpAtomicStore {
 		panic("ir: StorePtr on " + in.Op.String())
 	}
 	return in.Args[1]
 }
 
-// StoreVal returns the value operand of a store-like instruction.
+// StoreVal returns the value operand of a store-like instruction
+// (store, ntstore, atomicstore).
 func (in *Instr) StoreVal() Value {
-	if in.Op != OpStore && in.Op != OpNTStore {
+	if in.Op != OpStore && in.Op != OpNTStore && in.Op != OpAtomicStore {
 		panic("ir: StoreVal on " + in.Op.String())
 	}
 	return in.Args[0]

@@ -498,6 +498,134 @@ func (p *irParser) parseInstr(env *bodyEnv, line string) (*Instr, error) {
 			return nil, fmt.Errorf("unknown fence kind %q", rest)
 		}
 		in.Op = OpFence
+	case "spawn":
+		open := strings.Index(rest, "(")
+		close := strings.LastIndex(rest, ")")
+		if !strings.HasPrefix(rest, "@") || open < 0 || close < open {
+			return nil, fmt.Errorf("malformed spawn %q", rest)
+		}
+		callee := p.mod.Func(rest[1:open])
+		if callee == nil {
+			return nil, fmt.Errorf("unknown spawn callee %s", rest[:open])
+		}
+		var args []Value
+		if inner := strings.TrimSpace(rest[open+1 : close]); inner != "" {
+			for _, part := range splitArgs(inner) {
+				a, err := p.parseOperand(env, part)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+		}
+		in.Op, in.Ty, in.Callee, in.Args = OpSpawn, I64, callee, args
+	case "join":
+		t, err := p.parseOperand(env, rest)
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Ty, in.Args = OpJoin, I64, []Value{t}
+	case "atomicload":
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("malformed atomicload %q", rest)
+		}
+		ordTy := strings.Fields(parts[0])
+		if len(ordTy) != 2 {
+			return nil, fmt.Errorf("malformed atomicload %q", rest)
+		}
+		ord, err := parseOrder(ordTy[0])
+		if err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType(ordTy[1])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := p.parseOperand(env, parts[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Order, in.Ty, in.Args = OpAtomicLoad, ord, ty, []Value{ptr}
+	case "atomicstore":
+		sp2 := strings.IndexByte(rest, ' ')
+		if sp2 < 0 {
+			return nil, fmt.Errorf("malformed atomicstore %q", rest)
+		}
+		ord, err := parseOrder(rest[:sp2])
+		if err != nil {
+			return nil, err
+		}
+		parts := splitArgs(strings.TrimSpace(rest[sp2+1:]))
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("malformed atomicstore %q", rest)
+		}
+		val, err := p.parseOperand(env, parts[0])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := p.parseOperand(env, parts[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Order, in.StoreTy, in.Args = OpAtomicStore, ord, val.Type(), []Value{val, ptr}
+	case "atomicrmw":
+		fields := strings.Fields(rest)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("malformed atomicrmw %q", rest)
+		}
+		var rmw RMWKind
+		switch fields[0] {
+		case "add":
+			rmw = RMWAdd
+		case "xchg":
+			rmw = RMWXchg
+		default:
+			return nil, fmt.Errorf("unknown rmw kind %q", fields[0])
+		}
+		ord, err := parseOrder(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		parts := splitArgs(strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(rest, fields[0]), " "+fields[1])))
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("malformed atomicrmw operands %q", rest)
+		}
+		val, err := p.parseOperand(env, parts[0])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := p.parseOperand(env, parts[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.RMWK, in.Order, in.Ty, in.Args = OpAtomicRMW, rmw, ord, I64, []Value{val, ptr}
+	case "atomiccas":
+		sp2 := strings.IndexByte(rest, ' ')
+		if sp2 < 0 {
+			return nil, fmt.Errorf("malformed atomiccas %q", rest)
+		}
+		ord, err := parseOrder(rest[:sp2])
+		if err != nil {
+			return nil, err
+		}
+		parts := splitArgs(strings.TrimSpace(rest[sp2+1:]))
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("malformed atomiccas %q", rest)
+		}
+		expect, err := p.parseOperand(env, parts[0])
+		if err != nil {
+			return nil, err
+		}
+		nv, err := p.parseOperand(env, parts[1])
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := p.parseOperand(env, parts[2])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Order, in.Ty, in.Args = OpAtomicCAS, ord, I64, []Value{expect, nv, ptr}
 	case "zext", "trunc", "ptrtoint", "inttoptr":
 		toIdx := strings.LastIndex(rest, " to ")
 		if toIdx < 0 {
@@ -556,6 +684,18 @@ func (p *irParser) parseInstr(env *bodyEnv, line string) (*Instr, error) {
 		}
 	}
 	return in, nil
+}
+
+func parseOrder(s string) (MemOrder, error) {
+	switch s {
+	case "seqcst":
+		return OrderSeqCst, nil
+	case "acquire":
+		return OrderAcquire, nil
+	case "release":
+		return OrderRelease, nil
+	}
+	return 0, fmt.Errorf("unknown memory order %q", s)
 }
 
 func opByName(s string) Op {

@@ -88,6 +88,25 @@ func FormatInstr(in *Instr) string {
 		fmt.Fprintf(&b, "flush %s, %s", in.FlushK, operand(in.Args[0]))
 	case OpFence:
 		fmt.Fprintf(&b, "fence %s", in.FenceK)
+	case OpSpawn:
+		fmt.Fprintf(&b, "spawn @%s(", in.Callee.Name)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(operand(a))
+		}
+		b.WriteString(")")
+	case OpJoin:
+		fmt.Fprintf(&b, "join %s", operand(in.Args[0]))
+	case OpAtomicLoad:
+		fmt.Fprintf(&b, "atomicload %s %s, %s", in.Order, in.Ty, operand(in.Args[0]))
+	case OpAtomicStore:
+		fmt.Fprintf(&b, "atomicstore %s %s %s, %s", in.Order, in.StoreTy, in.Args[0].OperandString(), operand(in.Args[1]))
+	case OpAtomicRMW:
+		fmt.Fprintf(&b, "atomicrmw %s %s %s, %s", in.RMWK, in.Order, operand(in.Args[0]), operand(in.Args[1]))
+	case OpAtomicCAS:
+		fmt.Fprintf(&b, "atomiccas %s %s, %s, %s", in.Order, operand(in.Args[0]), operand(in.Args[1]), operand(in.Args[2]))
 	default:
 		switch {
 		case in.Op.IsBinary(), in.Op.IsCmp():

@@ -207,6 +207,89 @@ func verifyInstr(f *Func, in *Instr) error {
 			return fmt.Errorf("invalid fence kind %s", in.FenceK)
 		}
 		return nil
+	case OpSpawn:
+		if in.Callee == nil {
+			return fmt.Errorf("spawn without callee")
+		}
+		if f.Mod != nil && f.Mod.Func(in.Callee.Name) != in.Callee {
+			return fmt.Errorf("spawn callee @%s not in module", in.Callee.Name)
+		}
+		if in.Callee.IsDecl() {
+			return fmt.Errorf("spawn of declared-only @%s", in.Callee.Name)
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("spawn of %s with %d args", in.Callee.Sig(), len(in.Args))
+		}
+		for i, a := range in.Args {
+			if !TypeEqual(a.Type(), in.Callee.Params[i].Ty) {
+				return fmt.Errorf("spawn arg %d: have %s, want %s", i, a.Type(), in.Callee.Params[i].Ty)
+			}
+		}
+		if !TypeEqual(in.Ty, I64) {
+			return fmt.Errorf("spawn result must be i64 (thread handle)")
+		}
+		return nil
+	case OpJoin:
+		if err := want(1); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), I64) {
+			return fmt.Errorf("join handle must be i64")
+		}
+		if !TypeEqual(in.Ty, I64) {
+			return fmt.Errorf("join result must be i64")
+		}
+		return nil
+	case OpAtomicLoad:
+		if err := want(1); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Ty, I64) {
+			return fmt.Errorf("atomicload result must be i64")
+		}
+		if in.Order != OrderAcquire && in.Order != OrderSeqCst {
+			return fmt.Errorf("atomicload order must be acquire or seqcst, is %s", in.Order)
+		}
+		return ptrArg(0)
+	case OpAtomicStore:
+		if err := want(2); err != nil {
+			return err
+		}
+		if err := noResult(); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), I64) || !TypeEqual(in.StoreTy, I64) {
+			return fmt.Errorf("atomicstore value must be i64")
+		}
+		if in.Order != OrderRelease && in.Order != OrderSeqCst {
+			return fmt.Errorf("atomicstore order must be release or seqcst, is %s", in.Order)
+		}
+		return ptrArg(1)
+	case OpAtomicRMW:
+		if err := want(2); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), I64) || !TypeEqual(in.Ty, I64) {
+			return fmt.Errorf("atomicrmw operates on i64")
+		}
+		if in.Order != OrderSeqCst {
+			return fmt.Errorf("atomicrmw order must be seqcst, is %s", in.Order)
+		}
+		if in.RMWK != RMWAdd && in.RMWK != RMWXchg {
+			return fmt.Errorf("invalid rmw kind %s", in.RMWK)
+		}
+		return ptrArg(1)
+	case OpAtomicCAS:
+		if err := want(3); err != nil {
+			return err
+		}
+		if !TypeEqual(in.Args[0].Type(), I64) || !TypeEqual(in.Args[1].Type(), I64) || !TypeEqual(in.Ty, I64) {
+			return fmt.Errorf("atomiccas operates on i64")
+		}
+		if in.Order != OrderSeqCst {
+			return fmt.Errorf("atomiccas order must be seqcst, is %s", in.Order)
+		}
+		return ptrArg(2)
 	default:
 		switch {
 		case in.Op.IsBinary():

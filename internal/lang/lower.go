@@ -76,6 +76,9 @@ type funcInfo struct {
 	fn     *ir.Func
 	params []*Type
 	ret    *Type
+	// extern marks the pre-declared externals (stdSigs) — they have no
+	// body and cannot be spawned as threads.
+	extern bool
 }
 
 type globalInfo struct {
@@ -129,6 +132,7 @@ func Lower(f *File) (*ir.Module, error) {
 			fn:     c.mod.AddFunc(ir.NewFunc(sig.name, sig.ret.IR(), params...)),
 			params: sig.params,
 			ret:    sig.ret,
+			extern: true,
 		}
 	}
 	for _, gd := range f.Globals {
@@ -357,6 +361,9 @@ func (c *compiler) declareFunc(fd *FuncDecl) error {
 	switch fd.Name {
 	case "clwb", "clflush", "clflushopt", "sfence", "mfence", "ntstore":
 		return c.errf(fd.Line, "%q is a persistence intrinsic and cannot be defined", fd.Name)
+	case "spawn", "join", "atomic_load", "atomic_load_acquire", "atomic_store",
+		"atomic_store_release", "atomic_add", "atomic_xchg", "atomic_cas":
+		return c.errf(fd.Line, "%q is a concurrency intrinsic and cannot be defined", fd.Name)
 	}
 	ret, err := c.resolveType(fd.Ret)
 	if err != nil {

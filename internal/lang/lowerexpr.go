@@ -453,6 +453,151 @@ func (lo *lowerer) convert(v ir.Value, from, want *Type, line int) (ir.Value, er
 	return nil, lo.errf(line, "cannot use %s where %s is required", from, want)
 }
 
+// atomicRMWIntrinsics maps intrinsic names to RMW flavours.
+var atomicRMWIntrinsics = map[string]ir.RMWKind{
+	"atomic_add":  ir.RMWAdd,
+	"atomic_xchg": ir.RMWXchg,
+}
+
+// atomicAccessIntrinsic recognizes the atomic load/store intrinsic
+// names and yields the memory order and direction.
+func atomicAccessIntrinsic(name string) (ord ir.MemOrder, isLoad, ok bool) {
+	switch name {
+	case "atomic_load":
+		return ir.OrderSeqCst, true, true
+	case "atomic_load_acquire":
+		return ir.OrderAcquire, true, true
+	case "atomic_store":
+		return ir.OrderSeqCst, false, true
+	case "atomic_store_release":
+		return ir.OrderRelease, false, true
+	}
+	return 0, false, false
+}
+
+// atomicPtr evaluates an atomic intrinsic's pointer argument, requiring
+// a pointer to int (atomics operate on i64 cells).
+func (lo *lowerer) atomicPtr(name string, e Expr) (ir.Value, error) {
+	p, pt, err := lo.value(e)
+	if err != nil {
+		return nil, err
+	}
+	if pt.Kind != TPtr || pt.Elem.Kind != TInt {
+		return nil, lo.errf(e.exprLine(), "%s requires a pointer to int, not %s", name, pt)
+	}
+	return p, nil
+}
+
+// atomicAccess lowers atomic_load[_acquire] / atomic_store[_release].
+func (lo *lowerer) atomicAccess(x *CallExpr, ord ir.MemOrder, isLoad bool) (ir.Value, *Type, error) {
+	if isLoad {
+		if len(x.Args) != 1 {
+			return nil, nil, lo.errf(x.Line, "%s takes (pointer)", x.Name)
+		}
+		p, err := lo.atomicPtr(x.Name, x.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.b.AtomicLoad(ord, p), tyInt, nil
+	}
+	if len(x.Args) != 2 {
+		return nil, nil, lo.errf(x.Line, "%s takes (pointer, value)", x.Name)
+	}
+	p, err := lo.atomicPtr(x.Name, x.Args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	v, vt, err := lo.value(x.Args[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	cv, err := lo.convert(v, vt, tyInt, x.Line)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo.b.AtomicStore(ord, cv, p)
+	return nil, tyVoid, nil
+}
+
+// atomicRMW lowers atomic_add / atomic_xchg; the result is the previous
+// value of the cell.
+func (lo *lowerer) atomicRMW(x *CallExpr, rmw ir.RMWKind) (ir.Value, *Type, error) {
+	if len(x.Args) != 2 {
+		return nil, nil, lo.errf(x.Line, "%s takes (pointer, value)", x.Name)
+	}
+	p, err := lo.atomicPtr(x.Name, x.Args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	v, vt, err := lo.value(x.Args[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	cv, err := lo.convert(v, vt, tyInt, x.Line)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lo.b.AtomicRMW(rmw, cv, p), tyInt, nil
+}
+
+// atomicCAS lowers atomic_cas(p, expect, new); the result is the
+// previous value (the swap happened iff it equals expect).
+func (lo *lowerer) atomicCAS(x *CallExpr) (ir.Value, *Type, error) {
+	if len(x.Args) != 3 {
+		return nil, nil, lo.errf(x.Line, "atomic_cas takes (pointer, expect, new)")
+	}
+	p, err := lo.atomicPtr(x.Name, x.Args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := make([]ir.Value, 2)
+	for i, e := range x.Args[1:] {
+		v, vt, err := lo.value(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if vals[i], err = lo.convert(v, vt, tyInt, x.Line); err != nil {
+			return nil, nil, err
+		}
+	}
+	return lo.b.AtomicCAS(vals[0], vals[1], p), tyInt, nil
+}
+
+// spawnCall lowers spawn(worker, args...): the first argument names a
+// defined function; the rest are its arguments. The result is the
+// thread handle join takes.
+func (lo *lowerer) spawnCall(x *CallExpr) (ir.Value, *Type, error) {
+	if len(x.Args) < 1 {
+		return nil, nil, lo.errf(x.Line, "spawn takes (function, args...)")
+	}
+	id, ok := x.Args[0].(*Ident)
+	if !ok {
+		return nil, nil, lo.errf(x.Line, "spawn's first argument must name a function")
+	}
+	fi, ok := lo.c.funcs[id.Name]
+	if !ok {
+		return nil, nil, lo.errf(x.Line, "spawn of undefined function %q", id.Name)
+	}
+	if fi.extern {
+		return nil, nil, lo.errf(x.Line, "cannot spawn external function %q", id.Name)
+	}
+	rest := x.Args[1:]
+	if len(rest) != len(fi.params) {
+		return nil, nil, lo.errf(x.Line, "spawn of %s takes %d argument(s), got %d", id.Name, len(fi.params), len(rest))
+	}
+	args := make([]ir.Value, len(rest))
+	for i, a := range rest {
+		v, vt, err := lo.value(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if args[i], err = lo.convert(v, vt, fi.params[i], a.exprLine()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return lo.b.Spawn(fi.fn, args...), tyInt, nil
+}
+
 // call lowers intrinsics and function calls.
 func (lo *lowerer) call(x *CallExpr, allowVoid bool) (ir.Value, *Type, error) {
 	if k, ok := flushIntrinsics[x.Name]; ok {
@@ -497,6 +642,32 @@ func (lo *lowerer) call(x *CallExpr, allowVoid bool) (ir.Value, *Type, error) {
 		}
 		lo.b.NTStore(pt.Elem.IR(), cv, p)
 		return nil, tyVoid, nil
+	}
+	if x.Name == "spawn" {
+		return lo.spawnCall(x)
+	}
+	if x.Name == "join" {
+		if len(x.Args) != 1 {
+			return nil, nil, lo.errf(x.Line, "join takes one thread handle")
+		}
+		v, vt, err := lo.value(x.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := lo.convert(v, vt, tyInt, x.Line)
+		if err != nil {
+			return nil, nil, err
+		}
+		return lo.b.Join(cv), tyInt, nil
+	}
+	if ord, isLoad, ok := atomicAccessIntrinsic(x.Name); ok {
+		return lo.atomicAccess(x, ord, isLoad)
+	}
+	if rmw, ok := atomicRMWIntrinsics[x.Name]; ok {
+		return lo.atomicRMW(x, rmw)
+	}
+	if x.Name == "atomic_cas" {
+		return lo.atomicCAS(x)
 	}
 	fi, ok := lo.c.funcs[x.Name]
 	if !ok {

@@ -43,6 +43,17 @@ type Report struct {
 	FlushSites []trace.Frame
 	// Occurrences counts dynamic violations.
 	Occurrences int
+	// CrossThread marks a report produced by cross-thread publish
+	// detection: the store (issued by thread Tid) was still pending when
+	// thread PubTid made a pointer to its cache line durable. The fix is
+	// the same as for any unordered store — flush and fence in the
+	// issuing thread before the publish — so NeedFlush/NeedFence are
+	// both set.
+	CrossThread bool
+	// Tid is the thread that issued the store; PubTid the thread that
+	// durably published a pointer to it (CrossThread reports only).
+	Tid    int
+	PubTid int
 }
 
 // Class returns the paper's bug classification for the report.
@@ -61,6 +72,9 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s at %s", r.Class(), r.Store.Site())
 	fmt.Fprintf(&b, " (%d occurrence(s), addr 0x%x size %d)", r.Occurrences, r.Store.Addr, r.Store.Size)
+	if r.CrossThread {
+		fmt.Fprintf(&b, "\n\tunordered publish: store by thread %d was pending when thread %d durably published its address", r.Tid, r.PubTid)
+	}
 	for _, f := range r.Store.Stack[1:] {
 		fmt.Fprintf(&b, "\n\tcalled from %s", f)
 	}
@@ -91,6 +105,12 @@ type Result struct {
 	Flushes     int
 	Fences      int
 	Checkpoints int
+	// Threads is the number of distinct threads observed in the trace
+	// (1 for single-threaded programs).
+	Threads int
+	// CrossThreadPublishes counts dynamic unordered cross-thread
+	// publish observations (before per-site aggregation).
+	CrossThreadPublishes int
 	// LinesTouched counts the distinct cache lines written by the
 	// trace's stores — the working-set figure the telemetry layer
 	// reports. Computed during the offline replay, never by the
@@ -125,6 +145,9 @@ func (res *Result) Summary() string {
 		for i, r := range res.Reports {
 			fmt.Fprintf(&b, "[%d] %s\n", i+1, r)
 		}
+	}
+	if n := res.CrossThreadPublishes; n > 0 {
+		fmt.Fprintf(&b, "pmcheck: %d cross-thread unordered publish(es) observed\n", n)
 	}
 	if n := len(res.RedundantFlushes); n > 0 {
 		fmt.Fprintf(&b, "pmcheck: %d redundant flush(es) (performance diagnostic)\n", n)
@@ -174,30 +197,55 @@ func Check(t *trace.Trace) *Result {
 		return k
 	}
 
+	maxTid := 0
+	seeTid := func(tid int) {
+		if tid > maxTid {
+			maxTid = tid
+		}
+	}
+	// storeData reconstructs a store's payload for replay: bytes are zero
+	// except when the event carries a value (8-byte stores of PM addresses
+	// record Val so publish detection can follow the pointer).
+	storeData := func(e *trace.Event) []byte {
+		data := make([]byte, e.Size)
+		if e.Val != 0 && e.Size == 8 {
+			v := e.Val
+			for i := 0; i < 8; i++ {
+				data[i] = byte(v)
+				v >>= 8
+			}
+		}
+		return data
+	}
+
 	for _, e := range t.Events {
 		switch e.Kind {
 		case trace.KindStore:
 			res.Stores++
 			bySeq[e.Seq] = e
 			touch(e.Addr, e.Size)
-			tracker.OnStore(e.Seq, e.Addr, make([]byte, e.Size))
+			seeTid(e.Tid)
+			tracker.OnStoreT(e.Seq, e.Tid, e.Addr, storeData(e))
 		case trace.KindNTStore:
 			res.Stores++
 			bySeq[e.Seq] = e
 			touch(e.Addr, e.Size)
-			tracker.OnNTStore(e.Seq, e.Addr, make([]byte, e.Size))
+			seeTid(e.Tid)
+			tracker.OnNTStoreT(e.Seq, e.Tid, e.Addr, storeData(e))
 		case trace.KindFlush:
 			res.Flushes++
 			bySeq[e.Seq] = e
+			seeTid(e.Tid)
 			before := len(tracker.RedundantFlushes)
-			tracker.OnFlush(e.Seq, e.FlushK.Ordered(), e.Addr)
+			tracker.OnFlushT(e.Seq, e.Tid, e.FlushK.Ordered(), e.Addr)
 			if len(tracker.RedundantFlushes) > before {
 				res.RedundantFlushes = append(res.RedundantFlushes, e)
 			}
 		case trace.KindFence:
 			res.Fences++
+			seeTid(e.Tid)
 			before := tracker.RedundantFences
-			tracker.OnFence(e.Seq)
+			tracker.OnFenceT(e.Seq, e.Tid)
 			if tracker.RedundantFences > before {
 				res.RedundantFences = append(res.RedundantFences, e)
 			}
@@ -247,6 +295,36 @@ func Check(t *trace.Trace) *Result {
 			}
 		}
 	}
+	// Cross-thread unordered publishes: the tracker flagged stores that
+	// were still pending when another thread durably published a pointer
+	// to their cache line. Each folds into the referent store's site
+	// report — the fix (flush + fence in the issuing thread) is the same
+	// mechanism as any unordered store, but the provenance explains why
+	// program order alone never exposes it.
+	res.CrossThreadPublishes = len(tracker.Publishes)
+	for _, p := range tracker.Publishes {
+		se := bySeq[p.Referent.Seq]
+		if se == nil {
+			continue
+		}
+		site := reportKey{
+			site:  SiteKey{Func: se.Site().Func, InstrID: se.Site().InstrID},
+			stack: keyOf(se),
+		}
+		rep := reports[site]
+		if rep == nil {
+			rep = &Report{Store: se, Stacks: [][]trace.Frame{se.Stack}}
+			reports[site] = rep
+			ckptSeen[site] = make(map[SiteKey]bool)
+			flushSeen[site] = make(map[SiteKey]bool)
+		}
+		rep.Occurrences++
+		rep.NeedFlush = true
+		rep.NeedFence = true
+		rep.CrossThread = true
+		rep.Tid = p.Referent.Tid
+		rep.PubTid = p.PubTid
+	}
 	for _, r := range reports {
 		res.Reports = append(res.Reports, r)
 	}
@@ -254,6 +332,7 @@ func Check(t *trace.Trace) *Result {
 		return res.Reports[i].Store.Seq < res.Reports[j].Store.Seq
 	})
 	res.LinesTouched = len(lines)
+	res.Threads = maxTid + 1
 	return res
 }
 
@@ -340,6 +419,10 @@ func DedupeByClass(reports []*Report) []*Report {
 			m.Store = r.Store
 		}
 		m.Occurrences += r.Occurrences
+		if r.CrossThread && !m.CrossThread {
+			m.CrossThread = true
+			m.Tid, m.PubTid = r.Tid, r.PubTid
+		}
 		seenStack := make(map[string]bool, len(m.Stacks))
 		for _, s := range m.Stacks {
 			seenStack[stackKey(s)] = true

@@ -49,6 +49,14 @@ type TrackedStore struct {
 	FlushSeq int
 	// NT marks a non-temporal store (born flushed).
 	NT bool
+	// Tid is the simulated thread that issued the store (0 = main).
+	Tid int
+	// FlushTid is the thread that issued the flush that moved the store
+	// to StoreFlushed (flushes act on whole cache lines, so another
+	// thread's flush can write back this thread's store). SFENCE only
+	// drains the issuing core's flushes, so a fence commits a flushed
+	// store only when FlushTid matches the fencing thread.
+	FlushTid int
 }
 
 // Size returns the store width in bytes.
@@ -100,6 +108,25 @@ type RedundantFlush struct {
 	Seq  int
 }
 
+// CrossThreadPublish records an unordered cross-thread pointer publish:
+// a store holding a PM address became durable while the cache line it
+// points at still carried pending stores from a different thread. A
+// crash after the publish can leave the pointer durable but the
+// referent data lost — the publishing thread never ordered the other
+// thread's writes (no flush of the referent line + fence on its own
+// core) before making the pointer reachable.
+type CrossThreadPublish struct {
+	// PubAddr/PubSeq/PubTid identify the publishing store (now durable).
+	PubAddr uint64
+	PubSeq  int
+	PubTid  int
+	// Val is the published PM address.
+	Val uint64
+	// Referent is the cross-thread store on the published line that was
+	// still pending at publish time.
+	Referent *TrackedStore
+}
+
 // Tracker implements the pmemcheck durability state machine over a stream
 // of PM events. It maintains the durable shadow image used to generate
 // crash images.
@@ -109,8 +136,13 @@ type Tracker struct {
 	// durable is the shadow image holding only durable bytes.
 	durable *Memory
 
-	lastFenceSeq int
-	nPending     int
+	// lastFence records the sequence of the latest fence per issuing
+	// thread (index = tid). Checkpoint classification consults the
+	// store's own thread: a fence by another thread never drains this
+	// thread's flushes, so it cannot turn missing-flush&fence into
+	// missing-flush — a flush-only fix would park the line forever.
+	lastFence []int
+	nPending  int
 
 	// storeArena / dataArena back TrackedStore records and their payload
 	// copies in chunks, so the per-store cost on the interpreter hot path
@@ -119,12 +151,18 @@ type Tracker struct {
 	// the tracker's lifetime.
 	storeArena []TrackedStore
 	dataArena  []byte
+	// commitScratch is reused across fences so OnFenceT's two-phase
+	// commit stays allocation-free on the hot path.
+	commitScratch []*TrackedStore
 
 	// Diagnostics and statistics.
 	RedundantFlushes []RedundantFlush
 	RedundantFences  int
 	DurableStores    int
 	TotalStores      int
+	// Publishes collects cross-thread unordered pointer publishes (only
+	// possible in multi-threaded runs; see CrossThreadPublish).
+	Publishes []CrossThreadPublish
 }
 
 // newStore bump-allocates one TrackedStore from the arena.
@@ -156,16 +194,20 @@ func (t *Tracker) copyData(data []byte) []byte {
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{
-		pending:      make(map[uint64][]*TrackedStore),
-		durable:      NewMemory(),
-		lastFenceSeq: -1,
+		pending: make(map[uint64][]*TrackedStore),
+		durable: NewMemory(),
 	}
 }
 
-// OnStore records a store of data at addr in persistent memory. A store
-// that exactly overwrites a pending store replaces it (the old update can
-// no longer be observed after a crash).
+// OnStore records a store of data at addr in persistent memory issued by
+// thread 0. A store that exactly overwrites a pending store replaces it
+// (the old update can no longer be observed after a crash).
 func (t *Tracker) OnStore(seq int, addr uint64, data []byte) *TrackedStore {
+	return t.OnStoreT(seq, 0, addr, data)
+}
+
+// OnStoreT is OnStore with an explicit issuing thread.
+func (t *Tracker) OnStoreT(seq, tid int, addr uint64, data []byte) *TrackedStore {
 	if LineOf(addr) != LineOf(addr+uint64(len(data))-1) {
 		panic(fmt.Sprintf("pmem: store at %#x size %d spans cache lines", addr, len(data)))
 	}
@@ -187,47 +229,66 @@ func (t *Tracker) OnStore(seq int, addr uint64, data []byte) *TrackedStore {
 		Seq:      seq,
 		State:    StoreDirty,
 		FlushSeq: -1,
+		Tid:      tid,
+		FlushTid: -1,
 	}
 	t.pending[line] = append(list, st)
 	t.nPending++
 	return st
 }
 
-// OnNTStore records a non-temporal store: it bypasses the cache and is
-// durable after the next fence (born in the flushed state).
+// OnNTStore records a non-temporal store by thread 0: it bypasses the
+// cache and is durable after the next fence (born in the flushed state).
 func (t *Tracker) OnNTStore(seq int, addr uint64, data []byte) *TrackedStore {
-	st := t.OnStore(seq, addr, data)
+	return t.OnNTStoreT(seq, 0, addr, data)
+}
+
+// OnNTStoreT is OnNTStore with an explicit issuing thread.
+func (t *Tracker) OnNTStoreT(seq, tid int, addr uint64, data []byte) *TrackedStore {
+	st := t.OnStoreT(seq, tid, addr, data)
 	st.State = StoreFlushed
 	st.FlushSeq = seq
+	st.FlushTid = tid
 	st.NT = true
 	return st
 }
 
-// OnFlush records a cache-line flush of the line containing addr and
-// returns the number of stores it transitioned. CLFLUSH is strongly
-// ordered and commits affected stores immediately; CLWB and CLFLUSHOPT
-// move them to StoreFlushed pending a fence.
+// OnFlush records a cache-line flush by thread 0 of the line containing
+// addr and returns the number of stores it transitioned. CLFLUSH is
+// strongly ordered and commits affected stores immediately; CLWB and
+// CLFLUSHOPT move them to StoreFlushed pending a fence.
 func (t *Tracker) OnFlush(seq int, ordered bool, addr uint64) int {
+	return t.OnFlushT(seq, 0, ordered, addr)
+}
+
+// OnFlushT is OnFlush with an explicit issuing thread. Flushes act on
+// whole cache lines regardless of who dirtied them (cache coherence),
+// so a thread's flush writes back other threads' stores on the line;
+// the flusher is recorded so fences drain only their own core's flushes.
+func (t *Tracker) OnFlushT(seq, tid int, ordered bool, addr uint64) int {
 	line := LineOf(addr)
 	moved := 0
 	list := t.pending[line]
 	if ordered {
+		// CLFLUSH retires both dirty and previously flushed stores.
+		// Remove the line from pending before committing so publish
+		// detection never sees a same-pass store as still pending.
+		delete(t.pending, line)
+		t.nPending -= len(list)
 		for _, st := range list {
-			// CLFLUSH retires both dirty and previously flushed stores.
 			t.commit(st)
 			moved++
 		}
 		if moved == 0 {
 			t.RedundantFlushes = append(t.RedundantFlushes, RedundantFlush{Addr: addr, Seq: seq})
 		}
-		delete(t.pending, line)
-		t.nPending -= moved
 		return moved
 	}
 	for _, st := range list {
 		if st.State == StoreDirty {
 			st.State = StoreFlushed
 			st.FlushSeq = seq
+			st.FlushTid = tid
 			moved++
 		}
 	}
@@ -237,20 +298,37 @@ func (t *Tracker) OnFlush(seq int, ordered bool, addr uint64) int {
 	return moved
 }
 
-// OnFence records a store fence: every flushed store becomes durable.
-// It returns the number of distinct cache lines drained (the unit the
-// cost model charges for, since the memory controller retires write-backs
-// per line).
+// OnFence records a store fence by thread 0: every flushed store becomes
+// durable. It returns the number of distinct cache lines drained (the
+// unit the cost model charges for, since the memory controller retires
+// write-backs per line).
 func (t *Tracker) OnFence(seq int) int {
-	t.lastFenceSeq = seq
+	return t.OnFenceT(seq, 0)
+}
+
+// OnFenceT is OnFence with an explicit issuing thread: only stores whose
+// flush was issued by the fencing thread become durable (SFENCE orders
+// the issuing core's own flushes; another thread's CLWB is not drained
+// by this thread's fence).
+func (t *Tracker) OnFenceT(seq, tid int) int {
+	for len(t.lastFence) <= tid {
+		t.lastFence = append(t.lastFence, -1)
+	}
+	t.lastFence[tid] = seq
 	drained := 0
 	lines := 0
+	// Two passes: collect and detach every store this fence commits,
+	// then commit them. Publish detection inside commit scans pending,
+	// so same-fence commits must not be observable as pending. The
+	// scratch buffer and in-place filtering keep the hot path free of
+	// per-fence allocations.
+	commits := t.commitScratch[:0]
 	for line, list := range t.pending {
-		var keep []*TrackedStore
+		keep := list[:0]
 		lineDrained := false
 		for _, st := range list {
-			if st.State == StoreFlushed {
-				t.commit(st)
+			if st.State == StoreFlushed && st.FlushTid == tid {
+				commits = append(commits, st)
 				drained++
 				lineDrained = true
 			} else {
@@ -267,6 +345,18 @@ func (t *Tracker) OnFence(seq int) int {
 		}
 	}
 	t.nPending -= drained
+	// Insertion sort by Seq: commit order must be global store order (so
+	// later overwrites win in the durable image), and fences typically
+	// drain a handful of stores.
+	for i := 1; i < len(commits); i++ {
+		for j := i; j > 0 && commits[j-1].Seq > commits[j].Seq; j-- {
+			commits[j-1], commits[j] = commits[j], commits[j-1]
+		}
+	}
+	for _, st := range commits {
+		t.commit(st)
+	}
+	t.commitScratch = commits[:0]
 	if drained == 0 {
 		t.RedundantFences++
 	}
@@ -277,6 +367,39 @@ func (t *Tracker) commit(st *TrackedStore) {
 	st.State = StoreDurable
 	t.durable.Write(st.Addr, st.Data)
 	t.DurableStores++
+	t.checkPublish(st)
+}
+
+// checkPublish flags cross-thread unordered publishes: st just became
+// durable; if it is a pointer-sized store of a PM address whose target
+// line still has pending stores from other threads, the publish made
+// data reachable that a crash can lose.
+func (t *Tracker) checkPublish(st *TrackedStore) {
+	if len(st.Data) != 8 {
+		return
+	}
+	val := uint64(0)
+	for i := 7; i >= 0; i-- {
+		val = val<<8 | uint64(st.Data[i])
+	}
+	if !IsPM(val) {
+		return
+	}
+	for _, ref := range t.pending[LineOf(val)] {
+		if ref.Tid != st.Tid {
+			t.Publishes = append(t.Publishes, CrossThreadPublish{
+				PubAddr: st.Addr, PubSeq: st.Seq, PubTid: st.Tid, Val: val, Referent: ref,
+			})
+		}
+	}
+}
+
+// lastFenceOf returns the sequence of tid's latest fence, or -1.
+func (t *Tracker) lastFenceOf(tid int) int {
+	if tid < len(t.lastFence) {
+		return t.lastFence[tid]
+	}
+	return -1
 }
 
 // OnCheckpoint evaluates a durability point: every pending store is a
@@ -291,7 +414,7 @@ func (t *Tracker) OnCheckpoint(seq int) []Violation {
 			switch {
 			case st.State == StoreFlushed:
 				v.Class = MissingFence
-			case t.lastFenceSeq > st.Seq:
+			case t.lastFenceOf(st.Tid) > st.Seq:
 				v.Class = MissingFlush
 			default:
 				v.Class = MissingFlushFence

@@ -23,11 +23,29 @@ type Config struct {
 	Ops int
 	// PMCells is the number of persistent 8-slot arrays.
 	PMCells int
+	// Threads is the number of worker functions main spawns (0 = a
+	// sequential program). Workers mix plain PM stores, flushes, fences,
+	// helper calls and atomics, and main joins every handle before the
+	// checksum, so a generated module exercises the whole concurrent
+	// surface: spawn/join lowering, per-thread detection, and the static
+	// spawn fallback.
+	Threads int
 }
 
 // DefaultConfig returns moderate bounds.
 func DefaultConfig() Config {
 	return Config{Helpers: 3, Ops: 24, PMCells: 2}
+}
+
+// ThreadedConfig returns DefaultConfig with 2-3 spawned workers (seeded
+// by the same rng stream as the body, so the count varies per seed but
+// deterministically). Threaded modules keep main's op count smaller:
+// the interleaving surface, not main's length, is what the mode tests.
+func ThreadedConfig(seed int64) Config {
+	c := DefaultConfig()
+	c.Ops = 12
+	c.Threads = 2 + int(seed%2)
+	return c
 }
 
 // Generate builds a random program from the seed. The module's @main takes
@@ -75,6 +93,56 @@ func Generate(seed int64, cfg Config) *ir.Module {
 		helpers = append(helpers, h)
 	}
 
+	// Workers: spawned bodies over the same PM cells. Each takes the cell
+	// it works on and a value, like a helper, but runs on its own thread —
+	// its flushes are drained only by its own fences.
+	workers := make([]*ir.Func, 0, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		fn := ir.NewFunc(fmt.Sprintf("worker%d", i), ir.Void,
+			&ir.Param{Name: "p", Ty: ir.Ptr}, &ir.Param{Name: "v", Ty: ir.I64})
+		m.AddFunc(fn)
+		wb := ir.NewBuilder(fn)
+		wb.SetLoc(ir.Loc{File: "progen.pmc", Line: 200 + 10*i})
+		nops := 2 + rng.Intn(3)
+		for k := 0; k < nops; k++ {
+			wb.SetLoc(ir.Loc{File: "progen.pmc", Line: 200 + 10*i + k})
+			slot := wb.PtrAdd(fn.Params[0], ir.ConstInt(int64(rng.Intn(8))), 8, 0)
+			switch rng.Intn(6) {
+			case 0, 1: // plain store, maybe persisted
+				wb.Store(ir.I64, fn.Params[1], slot)
+				if rng.Intn(2) == 0 {
+					wb.Flush(ir.CLWB, slot)
+					if rng.Intn(2) == 0 {
+						wb.Fence(ir.SFENCE)
+					}
+				}
+			case 2: // atomic update, maybe persisted
+				if rng.Intn(2) == 0 {
+					wb.AtomicRMW(ir.RMWAdd, ir.ConstInt(1), slot)
+				} else {
+					wb.AtomicStore(ir.OrderRelease, fn.Params[1], slot)
+				}
+				if rng.Intn(2) == 0 {
+					wb.Flush(ir.CLWB, slot)
+					wb.Fence(ir.SFENCE)
+				}
+			case 3: // helper call (shared between threads and main)
+				h := helpers[rng.Intn(len(helpers))]
+				wb.Call(h.fn, fn.Params[0], fn.Params[1])
+			case 4: // flush + fence of the slot (may cover earlier stores)
+				wb.Flush(ir.CLWB, slot)
+				wb.Fence(ir.SFENCE)
+			case 5: // atomic read feeding a store
+				v := wb.AtomicLoad(ir.OrderAcquire, slot)
+				dst := wb.PtrAdd(fn.Params[0], ir.ConstInt(int64(rng.Intn(8))), 8, 0)
+				wb.Store(ir.I64, v, dst)
+			}
+		}
+		wb.Ret(nil)
+		fn.Renumber()
+		workers = append(workers, fn)
+	}
+
 	main := ir.NewFunc("main", ir.I64)
 	m.AddFunc(main)
 	b := ir.NewBuilder(main)
@@ -82,8 +150,22 @@ func Generate(seed int64, cfg Config) *ir.Module {
 	cellPtr := func() ir.Value {
 		return m.Global(fmt.Sprintf("cell%d", rng.Intn(cfg.PMCells)))
 	}
+	// Spawn points are scattered through main's op stream; every handle is
+	// joined before the checksum so the workers' stores are ordered before
+	// the loads that sum them.
+	var handles []ir.Value
+	spawnNext := func() {
+		w := workers[len(handles)]
+		handles = append(handles, b.Spawn(w, cellPtr(), ir.ConstInt(rng.Int63n(1000))))
+	}
 	for op := 0; op < cfg.Ops; op++ {
 		b.SetLoc(ir.Loc{File: "progen.pmc", Line: op + 1})
+		// Interleave spawns with the ops: roughly one every few ops, with
+		// any stragglers spawned after the loop.
+		if len(handles) < len(workers) && rng.Intn(4) == 0 {
+			spawnNext()
+			continue
+		}
 		switch rng.Intn(13) {
 		case 0, 1, 2: // direct PM store, maybe persisted
 			slot := b.PtrAdd(cellPtr(), ir.ConstInt(int64(rng.Intn(8))), 8, 0)
@@ -154,6 +236,12 @@ func Generate(seed int64, cfg Config) *ir.Module {
 			b.Jmp(merge)
 			b.SetBlock(merge)
 		}
+	}
+	for len(handles) < len(workers) {
+		spawnNext()
+	}
+	for _, h := range handles {
+		b.Join(h)
 	}
 	// Checksum every PM slot so repairs are observable.
 	sum := ir.Value(ir.ConstInt(0))

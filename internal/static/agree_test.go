@@ -10,6 +10,7 @@ import (
 	"hippocrates/internal/lang"
 	"hippocrates/internal/pmcheck"
 	"hippocrates/internal/progen"
+	"hippocrates/internal/schedule"
 	"hippocrates/internal/static"
 )
 
@@ -265,4 +266,61 @@ func TestProgenAgreement(t *testing.T) {
 		}
 	}
 	t.Logf("%d seeds: total FP gap %d site(s), max per-program %d", progenSeeds, totalGap, maxGap)
+}
+
+// threadedSeeds is the number of generated concurrent programs in the
+// threaded agreement sweep.
+const threadedSeeds = 100
+
+// TestProgenThreadedAgreement sweeps generated multi-threaded programs:
+// the static spawn fallback deliberately over-approximates, but at every
+// store site the dynamic detector reports under ANY explored interleaving
+// the static needs must still cover the dynamic ones. The dynamic side is
+// the union over a bounded schedule exploration, so the superset claim is
+// against schedule-dependent verdicts, not just the round-robin run.
+func TestProgenThreadedAgreement(t *testing.T) {
+	totalGap, maxGap := 0, 0
+	for seed := int64(0); seed < threadedSeeds; seed++ {
+		m := progen.Generate(seed, progen.ThreadedConfig(seed))
+		ex, err := schedule.Explore(m, "main", nil, schedule.Options{MaxSchedules: 8})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dynSites := map[pmcheck.SiteKey]pmcheck.Needs{}
+		for _, r := range ex.Runs {
+			if r.Err != nil {
+				t.Fatalf("seed %d: schedule %s faulted: %v", seed, r.ID, r.Err)
+			}
+			for site, dn := range r.Check.NeedsBySite() {
+				n := dynSites[site]
+				n.Flush = n.Flush || dn.Flush
+				n.Fence = n.Fence || dn.Fence
+				dynSites[site] = n
+			}
+		}
+		sres, err := static.Analyze(m, "main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sneeds := sres.NeedsBySite()
+		for site, dn := range dynSites {
+			sn, ok := sneeds[site]
+			if !ok {
+				t.Errorf("seed %d: dynamic site %s@%d (%s) missing from static reports", seed, site.Func, site.InstrID, dn)
+				continue
+			}
+			if !sn.Covers(dn) {
+				t.Errorf("seed %d: site %s@%d: static needs %s do not cover dynamic %s", seed, site.Func, site.InstrID, sn, dn)
+			}
+		}
+		if len(sres.Lints) != 0 {
+			t.Errorf("seed %d: %d lint(s) in a spawn module, want none", seed, len(sres.Lints))
+		}
+		gap := sres.UniqueSites() - len(dynSites)
+		totalGap += gap
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	t.Logf("%d threaded seeds: total FP gap %d site(s), max per-program %d", threadedSeeds, totalGap, maxGap)
 }

@@ -123,6 +123,24 @@ func (fa *funcAnalysis) transfer(st factState, in *ir.Instr, emit bool) bool {
 			st[f] |= stDirty
 		}
 
+	case ir.OpAtomicStore, ir.OpAtomicRMW, ir.OpAtomicCAS:
+		// An atomic write to PM is a store for durability purposes: the
+		// cache line is dirty until flushed and fenced like any other
+		// (atomicity orders visibility, not persistence). The pointer is
+		// the last operand for all three forms. Atomic loads write nothing.
+		ptr := in.Args[len(in.Args)-1]
+		if fa.mayPM(ptr) {
+			f := fa.internStoreFact(in, ptr, 8)
+			st[f] |= stDirty
+		}
+
+	case ir.OpSpawn, ir.OpJoin:
+		// The spawnee's effects happen on another thread: its fences never
+		// drain this thread's flushes, so its summary must not be applied
+		// here. Its own stores are covered by the spawn-aware blanket rule
+		// (see AnalyzeWithStore). Join transfers no persistency state
+		// either — it orders execution, not durability.
+
 	case ir.OpFlush:
 		fa.applyFlush(st, in, in.Args[0], nil, in.FlushK.Ordered(), emit)
 
@@ -604,12 +622,16 @@ func (fa *funcAnalysis) internInstantiated(ef *fact, fr trace.Frame) *fact {
 // mayPM reports whether a store through v must be tracked: it may point to
 // a PM object, or the analysis cannot bound where it points.
 func (fa *funcAnalysis) mayPM(v ir.Value) bool {
-	ids, known := fa.az.an.PointsToSet(v)
+	return fa.az.mayPM(v)
+}
+
+func (az *analyzer) mayPM(v ir.Value) bool {
+	ids, known := az.an.PointsToSet(v)
 	if !known {
 		return true
 	}
 	for _, id := range ids {
-		o := fa.az.an.ObjectByID(id)
+		o := az.an.ObjectByID(id)
 		if o != nil && (o.PM || o.Kind == alias.ObjExtern) {
 			return true
 		}

@@ -294,6 +294,13 @@ func AnalyzeWithStore(mod *ir.Module, entry string, store *Store) (*Result, erro
 	for _, r := range entrySum.reports {
 		res.Reports = append(res.Reports, exportReport(mod, r))
 	}
+	threaded := az.spawnReachable()
+	if threaded {
+		// Spawn-aware fallback: the sequential flow cannot bound what an
+		// interleaving leaves pending, so every reachable may-PM store
+		// site is reported needing flush+fence (see threads.go).
+		res.Reports = append(res.Reports, az.threadBlanketReports(res.NeedsBySite())...)
+	}
 	sort.Slice(res.Reports, func(i, j int) bool {
 		a, b := res.Reports[i], res.Reports[j]
 		if a.Func != b.Func {
@@ -327,6 +334,12 @@ func AnalyzeWithStore(mod *ir.Module, entry string, store *Store) (*Result, erro
 		}
 	}
 	for _, s := range az.sums {
+		if threaded {
+			// No lints in spawn modules: a flush or fence the sequential
+			// flow calls redundant may be load-bearing under another
+			// interleaving, and the optimizer deletes what lints name.
+			break
+		}
 		c := ctx[s.fn]
 		for _, l := range s.lints {
 			if l.needNoDirtyCtx && c.dirty {

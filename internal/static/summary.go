@@ -205,7 +205,9 @@ func (s *summary) signature() string {
 
 // callGraph builds the defined-function call graph restricted to functions
 // reachable from entry. Calls are direct (the IR has no indirect calls), so
-// the graph is exact.
+// the graph is exact. Spawn edges are included: a spawned function is
+// reachable and needs a summary, even though the caller's flow never
+// applies it (the spawnee runs on another thread — see transfer).
 func callGraph(entry *ir.Func) (nodes []*ir.Func, succs map[*ir.Func][]*ir.Func) {
 	succs = make(map[*ir.Func][]*ir.Func)
 	seen := map[*ir.Func]bool{entry: true}
@@ -218,7 +220,7 @@ func callGraph(entry *ir.Func) (nodes []*ir.Func, succs map[*ir.Func][]*ir.Func)
 		dedup := map[*ir.Func]bool{}
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
-				if in.Op != ir.OpCall || in.Callee.IsDecl() || dedup[in.Callee] {
+				if (in.Op != ir.OpCall && in.Op != ir.OpSpawn) || in.Callee.IsDecl() || dedup[in.Callee] {
 					continue
 				}
 				dedup[in.Callee] = true

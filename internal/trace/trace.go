@@ -86,6 +86,15 @@ type Event struct {
 	Size   int
 	FlushK ir.FlushKind // KindFlush only
 	FenceK ir.FenceKind // KindFence only
+	// Tid is the simulated thread that issued the event (0 = main). The
+	// textual form only carries it when nonzero, so single-threaded
+	// traces serialize exactly as they always have.
+	Tid int
+	// Val is the stored value for 8-byte store/ntstore events whose value
+	// is a PM address (a potential pointer publish). Offline detectors
+	// replay payload bytes from it; it is omitted from the textual form
+	// otherwise (PM addresses are never zero).
+	Val uint64
 	// Sym names the persistent global for startup KindAlloc events.
 	Sym string
 	// Stack is the call stack, innermost frame first.
@@ -151,6 +160,9 @@ func (t *Trace) Write(w io.Writer) error {
 		switch e.Kind {
 		case KindStore, KindNTStore:
 			fmt.Fprintf(bw, " addr=0x%x size=%d", e.Addr, e.Size)
+			if e.Val != 0 {
+				fmt.Fprintf(bw, " val=0x%x", e.Val)
+			}
 		case KindFlush:
 			fmt.Fprintf(bw, " %s addr=0x%x", e.FlushK, e.Addr)
 		case KindFence:
@@ -162,6 +174,9 @@ func (t *Trace) Write(w io.Writer) error {
 			if e.Sym != "" {
 				fmt.Fprintf(bw, " sym=@%s", e.Sym)
 			}
+		}
+		if e.Tid != 0 {
+			fmt.Fprintf(bw, " tid=%d", e.Tid)
 		}
 		for _, f := range e.Stack {
 			fmt.Fprintf(bw, " | %s", f)
@@ -246,11 +261,23 @@ func parseEvent(line string) (*Event, error) {
 					return nil, err
 				}
 				e.Size = v
+			case strings.HasPrefix(a, "val=0x"):
+				v, err := strconv.ParseUint(a[len("val=0x"):], 16, 64)
+				if err != nil {
+					return nil, err
+				}
+				e.Val = v
+			case strings.HasPrefix(a, "tid="):
+				v, err := strconv.Atoi(a[len("tid="):])
+				if err != nil {
+					return nil, err
+				}
+				e.Tid = v
 			}
 		}
 	case "flush":
 		e.Kind = KindFlush
-		if len(attrs) != 2 {
+		if len(attrs) < 2 {
 			return nil, fmt.Errorf("malformed flush %q", line)
 		}
 		switch attrs[0] {
@@ -263,14 +290,25 @@ func parseEvent(line string) (*Event, error) {
 		default:
 			return nil, fmt.Errorf("unknown flush kind %q", attrs[0])
 		}
-		v, err := strconv.ParseUint(strings.TrimPrefix(attrs[1], "addr=0x"), 16, 64)
-		if err != nil {
-			return nil, err
+		for _, a := range attrs[1:] {
+			switch {
+			case strings.HasPrefix(a, "addr=0x"):
+				v, err := strconv.ParseUint(a[len("addr=0x"):], 16, 64)
+				if err != nil {
+					return nil, err
+				}
+				e.Addr = v
+			case strings.HasPrefix(a, "tid="):
+				v, err := strconv.Atoi(a[len("tid="):])
+				if err != nil {
+					return nil, err
+				}
+				e.Tid = v
+			}
 		}
-		e.Addr = v
 	case "fence":
 		e.Kind = KindFence
-		if len(attrs) != 1 {
+		if len(attrs) < 1 {
 			return nil, fmt.Errorf("malformed fence %q", line)
 		}
 		switch attrs[0] {
@@ -281,8 +319,26 @@ func parseEvent(line string) (*Event, error) {
 		default:
 			return nil, fmt.Errorf("unknown fence kind %q", attrs[0])
 		}
+		for _, a := range attrs[1:] {
+			if strings.HasPrefix(a, "tid=") {
+				v, err := strconv.Atoi(a[len("tid="):])
+				if err != nil {
+					return nil, err
+				}
+				e.Tid = v
+			}
+		}
 	case "checkpoint":
 		e.Kind = KindCheckpoint
+		for _, a := range attrs {
+			if strings.HasPrefix(a, "tid=") {
+				v, err := strconv.Atoi(a[len("tid="):])
+				if err != nil {
+					return nil, err
+				}
+				e.Tid = v
+			}
+		}
 	case "alloc":
 		e.Kind = KindAlloc
 		for _, a := range attrs {
@@ -301,6 +357,12 @@ func parseEvent(line string) (*Event, error) {
 				e.Size = v
 			case strings.HasPrefix(a, "sym=@"):
 				e.Sym = a[len("sym=@"):]
+			case strings.HasPrefix(a, "tid="):
+				v, err := strconv.Atoi(a[len("tid="):])
+				if err != nil {
+					return nil, err
+				}
+				e.Tid = v
 			}
 		}
 	default:
